@@ -1,0 +1,21 @@
+"""Ablation: RAM logging vs continuous drain vs online counters."""
+
+from conftest import run_once
+
+from repro.experiments import ablation_logging
+
+
+def test_ablation_logging(benchmark, archive):
+    result = run_once(benchmark, ablation_logging.run)
+    archive(result)
+    data = result.data
+    # Drain mode ships the log with bounded resident memory and modest
+    # extra records (its own activity switches are themselves logged).
+    assert data["drain_records"] >= data["ram_records"]
+    assert data["drain_records"] < 2 * data["ram_records"]
+    assert data["drain_task_runs"] > 0
+    # Counters are fixed-memory.
+    assert data["counter_memory_bytes"] <= 256
+    # The online view charges node energy to the CPU-resident activity:
+    # in Blink that is overwhelmingly Idle (the CPU sleeps with LEDs on).
+    assert data["online_mj"].get("1:Idle", 0.0) > 400.0

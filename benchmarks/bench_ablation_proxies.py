@@ -1,0 +1,14 @@
+"""Ablation: proxy folding on vs off over the same Bounce log."""
+
+from conftest import run_once
+
+from repro.experiments import ablation_proxies
+
+
+def test_ablation_proxies(benchmark, archive):
+    result = run_once(benchmark, ablation_proxies.run)
+    archive(result)
+    # Folding strictly grows the remote activity's share ...
+    assert result.data["remote_folded_mj"] > result.data["remote_unfolded_mj"]
+    # ... while conserving the total (it only moves energy between rows).
+    assert result.data["totals_match"]

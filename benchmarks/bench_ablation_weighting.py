@@ -1,0 +1,15 @@
+"""Ablation: regression weighting schemes vs ground truth."""
+
+from conftest import run_once
+
+from repro.experiments import ablation_weighting
+
+
+def test_ablation_weighting(benchmark, archive):
+    result = run_once(benchmark, ablation_weighting.run)
+    archive(result)
+    errors = result.data["errors"]
+    # Time/energy-aware weightings beat the unweighted fit on this
+    # workload (short noisy states would otherwise dominate).
+    assert errors["sqrt_et"] < errors["none"]
+    assert errors["sqrt_et"] < 5.0

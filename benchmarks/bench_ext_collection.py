@@ -1,0 +1,14 @@
+"""Extension: multihop collection priced network-wide."""
+
+from conftest import run_once
+
+from repro.experiments import ext_collection
+
+
+def test_ext_collection(benchmark, archive):
+    result = run_once(benchmark, ext_collection.run)
+    archive(result)
+    assert result.data["delivered"] >= 5
+    assert 12 in result.data["origins_at_root"]
+    # The leaf's data costs energy on the relays, not just at home.
+    assert result.data["leaf_remote_fraction"] > 0.1

@@ -1,0 +1,15 @@
+"""Extension: the Table-1 TX power ladder, recovered from the meter."""
+
+from conftest import run_once
+
+from repro.experiments import ext_txpower
+
+
+def test_ext_txpower(benchmark, archive):
+    result = run_once(benchmark, ext_txpower.run)
+    archive(result)
+    # Every setting's draw recovered within a reasonable band (short TX
+    # bursts leave boundary-timing skew) and the ladder is monotone —
+    # the structural claim.
+    assert result.data["mean_err_pct"] < 15.0
+    assert result.data["monotone_pairs"] >= 6  # of 7 adjacent pairs

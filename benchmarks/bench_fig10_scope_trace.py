@@ -1,0 +1,17 @@
+"""Figure 10: scope current traces with the iCount switching ripple."""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_scope_trace(benchmark, archive):
+    result = run_once(benchmark, fig10.run)
+    archive(result)
+    means = result.data["means_ma"]
+    # Paper's two annotated means: 3.05 mA and 6.30 mA.
+    assert abs(means["LED1(G) On"] - 3.05) < 0.15
+    assert abs(means["All LEDs On"] - 6.30) < 0.35
+    # The linear current/frequency relation with near-perfect fit.
+    assert abs(result.data["slope"] - 2.77) < 0.05
+    assert result.data["r2"] > 0.999

@@ -1,0 +1,15 @@
+"""Figure 11: Blink's activity/power profile and the stacked
+reconstruction against the meter."""
+
+from conftest import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_blink_profile(benchmark, archive):
+    result = run_once(benchmark, fig11.run)
+    archive(result)
+    # Reconstructed energy matches the metered envelope (paper: 0.004 %).
+    assert result.data["reconstruction_gap"] < 0.001
+    # Event volume in the paper's regime (597 entries over 48 s).
+    assert 400 <= result.data["log_entries"] <= 800

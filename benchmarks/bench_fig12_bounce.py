@@ -1,0 +1,20 @@
+"""Figure 12: cross-node activity tracking in Bounce."""
+
+from conftest import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_bounce(benchmark, archive):
+    result = run_once(benchmark, fig12.run)
+    archive(result)
+    # Packets actually bounced both ways.
+    assert result.data["node1_received"] >= 2
+    assert result.data["node1_bounces"] >= 1
+    # The reception proxy was bound to the remote activity on node 1 ...
+    assert result.data["rx_bind_found"]
+    # ... the radio was painted with the remote activity for the
+    # bounce-back ...
+    assert result.data["remote_radio_segment_found"]
+    # ... and real energy on node 1 is charged to node 4's activity.
+    assert result.data["remote_activity_mj_on_node1"] > 0.5

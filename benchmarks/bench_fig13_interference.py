@@ -1,0 +1,21 @@
+"""Figure 13: 802.11 interference on low-power listening."""
+
+from conftest import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_interference(benchmark, archive):
+    result = run_once(benchmark, fig13.run)
+    archive(result)
+    ch17 = result.data["ch17"]
+    ch26 = result.data["ch26"]
+    # Channel 26 (43 MHz from the Wi-Fi carrier) sees no false positives;
+    # channel 17 sees them at roughly the paper's 17.8 % rate.
+    assert ch26["detections"] == 0
+    assert 0.10 <= ch17["fp_rate"] <= 0.28
+    # Duty cycles: ~2.2 % clean, elevated ~2-3x under interference.
+    assert abs(ch26["duty_pct"] - 2.22) < 0.5
+    assert ch17["duty_pct"] > 1.7 * ch26["duty_pct"]
+    # Average power strictly higher on the interfered channel.
+    assert ch17["power_mw"] > 1.3 * ch26["power_mw"]

@@ -1,0 +1,16 @@
+"""Figure 15: the unexpected 16 Hz DCO-calibration timer."""
+
+from conftest import run_once
+
+from repro.experiments import fig15
+
+
+def test_fig15_timer_leak(benchmark, archive):
+    result = run_once(benchmark, fig15.run)
+    archive(result)
+    # The leak fires at ~16 Hz; the fixed build not at all.
+    assert abs(result.data["rate_hz"] - 16.0) < 1.0
+    assert result.data["fixed_fires"] == 0
+    # And it costs real CPU time and energy.
+    assert result.data["proxy_cpu_ms"] > 1.0
+    assert result.data["leak_energy_uj"] > 10.0

@@ -1,0 +1,14 @@
+"""Figure 16: interrupt-driven vs DMA SPI transfer timing."""
+
+from conftest import run_once
+
+from repro.experiments import fig16
+
+
+def test_fig16_dma(benchmark, archive):
+    result = run_once(benchmark, fig16.run)
+    archive(result)
+    # The paper's claim: the DMA transfer is at least twice as fast.
+    assert result.data["speedup"] >= 2.0
+    # And the total send is visibly faster too.
+    assert result.data["total_dma_ms"] < result.data["total_irq_ms"]

@@ -1,0 +1,13 @@
+"""Table 1: the platform catalog (sinks, power states, nominal draws)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_catalog(benchmark, archive):
+    result = run_once(benchmark, table1.run)
+    archive(result)
+    assert result.data["total_sinks"] >= 16
+    assert result.data["mcu_states"] == 16
+    assert result.data["radio_states"] == 14

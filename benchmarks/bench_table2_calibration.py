@@ -1,0 +1,20 @@
+"""Table 2: oscilloscope calibration of Blink's eight steady states."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_calibration(benchmark, archive):
+    result = run_once(benchmark, table2.run)
+    archive(result)
+    est = result.data["estimates_ma"]
+    # The regression must recover the actual (non-datasheet) draws, in the
+    # paper's measured range, and close with a small relative error.
+    assert abs(est["LED0"] - 2.50) < 0.25
+    assert abs(est["LED1"] - 2.23) < 0.25
+    assert abs(est["LED2"] - 0.83) < 0.15
+    assert abs(result.data["const_ma"] - 0.82) < 0.15
+    assert result.data["relative_error"] < 0.03
+    # One iCount pulse carries ~8.33 uJ.
+    assert abs(result.data["uj_per_pulse"] - 8.33) < 0.1

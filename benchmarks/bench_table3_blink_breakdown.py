@@ -1,0 +1,28 @@
+"""Table 3: where the joules have gone in Blink (all four sub-tables)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_blink_breakdown(benchmark, archive):
+    result = run_once(benchmark, table3.run)
+    archive(result)
+    hw = result.data["energy_by_hw_mj"]
+    act = result.data["energy_by_activity_mj"]
+    # Per-component energies within a few percent of the paper's Table 3c.
+    assert abs(hw["LED0"] - 180.71) / 180.71 < 0.03
+    assert abs(hw["LED1"] - 161.06) / 161.06 < 0.03
+    assert abs(hw["LED2"] - 59.84) / 59.84 < 0.03
+    assert abs(hw["Const."] - 119.26) / 119.26 < 0.05
+    # Per-activity energies match Table 3d: the LED energy lands on the
+    # right activity, VTimer and the interrupt proxy are tiny but nonzero.
+    assert abs(act["1:Red"] - 180.78) / 180.78 < 0.03
+    assert abs(act["1:Green"] - 161.10) / 161.10 < 0.03
+    assert abs(act["1:Blue"] - 59.86) / 59.86 < 0.03
+    assert 0.05 < act["1:VTimer"] < 0.5
+    assert 0.005 < act["1:int_TIMERB0"] < 0.1
+    # CPU stays active well under 1 % of the run (paper: 0.178 %).
+    assert 0.05 < result.data["cpu_active_pct"] < 0.5
+    # Accounting closes against the meter.
+    assert result.data["accounting_error"] < 0.001

@@ -1,0 +1,18 @@
+"""Table 4: the costs of logging."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_costs(benchmark, archive):
+    result = run_once(benchmark, table4.run)
+    archive(result)
+    # The cost model is the paper's, exactly.
+    data = result.data
+    assert 400 <= data["records"] <= 800
+    # Logging dominates *active* CPU time but is negligible overall —
+    # the paper's 71 % / 0.12 % / 0.08 % structure.
+    assert data["active_share_pct"] > 40.0
+    assert data["total_share_pct"] < 0.2
+    assert data["energy_share_pct"] < 0.15

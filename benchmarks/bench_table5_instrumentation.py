@@ -1,0 +1,15 @@
+"""Table 5: instrumentation burden in lines of code."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5_instrumentation(benchmark, archive):
+    result = run_once(benchmark, table5.run)
+    archive(result)
+    # The instrumentation touches each abstraction at a handful of call
+    # sites, and the core framework is a self-contained body of code —
+    # the paper's "changes are highly localized" claim.
+    assert result.data["total_call_sites"] >= 20
+    assert result.data["new_code_loc"] >= 150

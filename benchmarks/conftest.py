@@ -1,0 +1,38 @@
+"""Benchmark harness plumbing.
+
+Every bench runs one experiment (single round — these are simulations,
+not microbenchmarks), prints its rendered tables/figures, and archives
+the output under ``results/`` so a full ``pytest benchmarks/
+--benchmark-only`` leaves a browsable record of every reproduced table
+and figure.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture()
+def archive(capsys):
+    """Print an ExperimentResult and write it to results/<exp_id>.txt."""
+
+    def _archive(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.exp_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+        return result
+
+    return _archive
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

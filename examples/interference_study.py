@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The interference case study: Wi-Fi vs low-power listening.
+
+Reproduces the paper's Section 4.3 experiment: a duty-cycled 802.15.4
+node 10 cm from an 802.11b access point.  On channel 17 the Wi-Fi energy
+reads as channel activity and triggers false wake-ups that keep the radio
+listening for 100 ms at a time; on channel 26 nothing happens.  Quanto
+pins the wasted energy on the never-bound ``pxy_RX`` proxy activity.
+"""
+
+from repro.core.report import format_table
+from repro.experiments.fig13 import run_channel
+from repro.tos.node import RES_RADIO
+from repro.units import to_mj
+
+
+def main() -> None:
+    rows = []
+    for channel in (17, 26):
+        result = run_channel(channel, seed=0)
+        rows.append((
+            str(channel),
+            str(result["wakeups"]),
+            f"{100 * result['fp_rate']:.1f} %",
+            f"{result['duty_pct']:.2f} %",
+            f"{result['power_mw']:.2f} mW",
+        ))
+        if channel == 17:
+            node = result["node"]
+            emap = node.energy_map()
+            proxy_name = node.registry.name_of(node.proxies.label("pxy_RX"))
+            wasted = emap.energy_by_activity().get(proxy_name, 0.0)
+            radio_total = emap.energy_by_component().get("Radio", 0.0)
+    print(format_table(
+        ("802.15.4 ch", "wakeups", "false positives", "radio duty",
+         "avg power"), rows,
+        title="LPL next to an 802.11b AP on Wi-Fi channel 6"))
+    print()
+    print(f"on channel 17, {to_mj(wasted):.1f} mJ of the radio's "
+          f"{to_mj(radio_total):.1f} mJ is charged to the unbound "
+          f"receive proxy — energy wasted on false wake-ups, visible "
+          f"directly in the activity breakdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cross-node energy tracking: the Bounce application.
+
+Two nodes ping-pong two packets.  The hidden activity field in each
+packet carries the originating activity across the air, so node 1's work
+on node 4's packet — the reception interrupts, the SPI drain, the
+indicator LED, the bounce-back transmission — is charged to
+``4:BounceApp``.  The network-wide merge then prices each activity across
+the whole network.
+"""
+
+from repro import NodeConfig
+from repro.apps.bounce import BounceApp
+from repro.core.netmerge import merge_energy_maps
+from repro.core.report import format_table
+from repro.tos.network import Network
+from repro.units import ms, seconds, to_mj
+
+
+def main() -> None:
+    network = Network(seed=0)
+    network.add_node(NodeConfig(node_id=1, mac="csma"))
+    network.add_node(NodeConfig(node_id=4, mac="csma"))
+    app1 = BounceApp(peer_id=4, originate_delay_ns=ms(250))
+    app4 = BounceApp(peer_id=1, originate_delay_ns=ms(650))
+    network.boot_all({1: app1.start, 4: app4.start})
+    network.run(seconds(10))
+
+    print(f"node 1: received {app1.received}, bounced {app1.bounces}")
+    print(f"node 4: received {app4.received}, bounced {app4.bounces}\n")
+
+    maps = {nid: network.node(nid).energy_map(fold_proxies=True)
+            for nid in (1, 4)}
+    for nid, emap in maps.items():
+        rows = [(name, f"{to_mj(e):.3f}")
+                for name, e in sorted(emap.energy_by_activity().items())
+                if e > 1e-6]
+        print(format_table(("activity", "E (mJ)"), rows,
+                           title=f"node {nid}: energy by activity"))
+        print()
+
+    report = merge_energy_maps(maps)
+    rows = []
+    for activity in sorted(report.by_activity):
+        spread = report.spread[activity]
+        rows.append((
+            activity,
+            f"{to_mj(report.by_activity[activity]):.3f}",
+            ", ".join(f"node{n}: {to_mj(e):.3f}"
+                      for n, e in sorted(spread.items())),
+        ))
+    print(format_table(("activity", "network total (mJ)", "spread"), rows,
+                       title="network-wide energy per activity"))
+    for origin in (1, 4):
+        name = f"{origin}:BounceApp"
+        frac = report.remote_fraction(name, origin)
+        print(f"{name}: {frac * 100:.1f} % of its energy was spent on "
+              f"other nodes")
+
+
+if __name__ == "__main__":
+    main()

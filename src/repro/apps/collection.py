@@ -1,0 +1,135 @@
+"""A multihop collection protocol (tree routing to a root).
+
+The paper's motivation section asks "network-wide, how much energy do
+network services such as routing consume?" — this app answers it with
+Quanto.  Nodes form a static tree; every non-root node samples
+periodically under its own ``Collect`` activity and sends the sample to
+its parent; forwarders queue the packet on an instrumented
+:class:`~repro.tos.queue.ForwardingQueue` (which preserves the *origin's*
+activity across the deferral) and relay it upward.  After a run, the
+network-wide merge prices each origin's data path — including every
+forwarding hop it caused on other nodes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.hw.radio import Frame
+from repro.tos.node import QuantoNode
+from repro.tos.queue import ForwardingQueue
+from repro.units import ms, seconds
+
+AM_COLLECT = 0x43
+
+_SAMPLE = struct.Struct("<HI")  # origin node id, sample counter
+
+
+class CollectionApp:
+    """One node of the collection tree."""
+
+    def __init__(
+        self,
+        parent_id: Optional[int],
+        sample_period_ns: int = seconds(4),
+        is_root: bool = False,
+    ) -> None:
+        self.parent_id = parent_id
+        self.sample_period_ns = sample_period_ns
+        self.is_root = is_root
+        self.node: Optional[QuantoNode] = None
+        self.queue: Optional[ForwardingQueue] = None
+        self._sending = False
+        self.samples_originated = 0
+        self.packets_forwarded = 0
+        self.delivered: list[tuple[int, int]] = []  # root: (origin, seq)
+
+    def start(self, node: QuantoNode) -> None:
+        self.node = node
+        if node.am is None:
+            raise RuntimeError("CollectionApp needs a MAC/AM stack")
+        self.queue = ForwardingQueue(
+            f"fwd@{node.node_id}", node.cpu_activity, node.platform.mcu)
+        node.am.register_receiver(AM_COLLECT, self._received)
+        node.set_cpu_activity("Collect")
+        node.mac.start(self._radio_ready)
+        node.cpu_activity.set(node.idle)
+
+    def _radio_ready(self) -> None:
+        node = self.node
+        assert node is not None
+        if self.is_root:
+            return
+        # Stagger first samples by node id to avoid synchronized sends.
+        node.set_cpu_activity("Collect")
+        node.vtimers.start_oneshot(
+            self._sample, ms(100) + node.node_id * ms(150), name="first")
+
+    def _sample(self) -> None:
+        """First sample: originate it and start the periodic cadence."""
+        self._originate()
+        node = self.node
+        assert node is not None
+        node.vtimers.start_periodic(
+            self._originate, self.sample_period_ns, name="sample",
+            activity=node.activity("Collect"))
+
+    def _originate(self) -> None:
+        """Originate one sample under this node's Collect activity."""
+        node = self.node
+        assert node is not None
+        node.set_cpu_activity("Collect")
+        node.platform.mcu.consume(25)
+        self.samples_originated += 1
+        payload = _SAMPLE.pack(node.node_id, self.samples_originated)
+        self.queue.enqueue(payload)
+        self._service_queue()
+
+    def _received(self, frame: Frame) -> None:
+        """A packet from a child arrived.  The CPU already carries the
+        *origin's* activity (bound from the hidden field); enqueueing
+        saves it with the packet for the deferred forward."""
+        node = self.node
+        assert node is not None
+        node.platform.mcu.consume(20)
+        origin, seq = _SAMPLE.unpack(frame.payload)
+        if self.is_root:
+            self.delivered.append((origin, seq))
+            return
+        self.queue.enqueue(frame.payload)
+        self._service_queue()
+
+    def _service_queue(self) -> None:
+        """Send the head-of-line packet to the parent if idle.  The
+        dequeue restores the origin's activity, so the send — and the
+        radio work it causes — is charged to the origin."""
+        node = self.node
+        assert node is not None
+        if self._sending or self.parent_id is None:
+            return
+        payload = self.queue.dequeue()
+        if payload is None:
+            return
+        self._sending = True
+        self.packets_forwarded += 1
+        node.am.send(self.parent_id, AM_COLLECT, payload,
+                     on_send_done=self._sent)
+
+    def _sent(self, frame: Frame) -> None:
+        self._sending = False
+        self._service_queue()
+
+
+def build_line_topology(network, node_ids, root_id, **app_kwargs):
+    """Helper: a line topology rooted at ``root_id`` (each node's parent
+    is the previous one).  Returns {node_id: CollectionApp}."""
+    apps = {}
+    previous = None
+    for node_id in node_ids:
+        is_root = node_id == root_id
+        apps[node_id] = CollectionApp(
+            parent_id=previous if not is_root else None,
+            is_root=is_root, **app_kwargs)
+        previous = node_id
+    return apps

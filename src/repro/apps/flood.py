@@ -1,0 +1,83 @@
+"""A network flood: the butterfly-effect workload (paper Section 5.3).
+
+"An action at one node can have network-wide effects ... Quanto can trace
+the causal chain from small, local cause to large, network-wide effect."
+
+One node originates a flood packet under its ``Flood`` activity; every
+node rebroadcasts the packet exactly once on first reception.  Because
+the hidden activity field survives every hop, *all* forwarding work on
+every node is charged to the originator's activity, and the network-wide
+merge (:mod:`repro.core.netmerge`) can price the entire flood.
+"""
+
+from __future__ import annotations
+
+from repro.hw.radio import Frame
+from repro.tos.am import AM_BROADCAST
+from repro.tos.node import QuantoNode
+from repro.units import ms
+
+AM_FLOOD = 0x46
+
+
+class FloodApp:
+    """One node's flood logic (originator or forwarder)."""
+
+    def __init__(self, originate: bool = False,
+                 originate_delay_ns: int = ms(50)) -> None:
+        self.originate = originate
+        self.originate_delay_ns = originate_delay_ns
+        self.node: QuantoNode | None = None
+        self.seen_seqnos: set[int] = set()
+        self.forwards = 0
+        self.duplicates_suppressed = 0
+
+    def start(self, node: QuantoNode) -> None:
+        self.node = node
+        if node.am is None:
+            raise RuntimeError("FloodApp needs a MAC/AM stack")
+        node.am.register_receiver(AM_FLOOD, self._received)
+        node.set_cpu_activity("Flood" if self.originate else "FloodFwd")
+        node.mac.start(self._radio_ready)
+        node.cpu_activity.set(node.idle)
+
+    def _radio_ready(self) -> None:
+        node = self.node
+        assert node is not None
+        if not self.originate:
+            return
+        node.set_cpu_activity("Flood")
+        node.vtimers.start_oneshot(
+            self._originate_flood, self.originate_delay_ns, name="flood")
+
+    def _originate_flood(self) -> None:
+        node = self.node
+        assert node is not None
+        node.set_cpu_activity("Flood")
+        node.platform.mcu.consume(20)
+        frame = node.am.send(AM_BROADCAST, AM_FLOOD, b"\x01")
+        self.seen_seqnos.add(frame.seqno)
+
+    def _received(self, frame: Frame) -> None:
+        """First reception: blink LED0 (charged to the flood's origin
+        activity) and rebroadcast once."""
+        node = self.node
+        assert node is not None
+        if frame.seqno in self.seen_seqnos:
+            self.duplicates_suppressed += 1
+            return
+        self.seen_seqnos.add(frame.seqno)
+        node.platform.mcu.consume(30)
+        node.leds.paint(0)
+        node.leds.led_on(0)
+        self.forwards += 1
+        # Rebroadcast still carries the originator's activity (the CPU was
+        # bound to it when the AM layer decoded the packet).
+        node.am.send(AM_BROADCAST, AM_FLOOD, frame.payload,
+                     on_send_done=self._forwarded)
+
+    def _forwarded(self, frame: Frame) -> None:
+        node = self.node
+        assert node is not None
+        node.leds.led_off(0)
+        node.leds.unpaint(0)

@@ -1,0 +1,47 @@
+"""The low-power-listening node of the interference case study
+(paper Section 4.3, Figures 13 and 14).
+
+The node does nothing but duty-cycle its radio: every 500 ms it wakes,
+samples the channel, and returns to sleep — unless energy is detected, in
+which case the radio is held on (under the unbound ``pxy_RX`` proxy
+activity) waiting for a packet that, with only an 802.11 interferer
+nearby, never arrives.
+"""
+
+from __future__ import annotations
+
+from repro.tos.mac import LplMac
+from repro.tos.node import QuantoNode
+
+
+class LplListenApp:
+    """A pure LPL listener."""
+
+    def __init__(self) -> None:
+        self.node: QuantoNode | None = None
+
+    def start(self, node: QuantoNode) -> None:
+        self.node = node
+        if not isinstance(node.mac, LplMac):
+            raise RuntimeError("LplListenApp requires mac='lpl'")
+        node.mac.start()
+        node.cpu_activity.set(node.idle)
+
+    # -- statistics used by the Figure 13 analysis ---------------------------
+
+    @property
+    def wakeups(self) -> int:
+        assert self.node is not None
+        return self.node.mac.wakeups
+
+    @property
+    def detections(self) -> int:
+        assert self.node is not None
+        return self.node.mac.detections
+
+    def false_positive_rate(self) -> float:
+        """Detections per wake-up; with no 802.15.4 traffic around, every
+        detection is a false positive."""
+        if self.wakeups == 0:
+            return 0.0
+        return self.detections / self.wakeups

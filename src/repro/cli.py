@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the available experiments;
+* ``experiment <id> [--seed N]`` — run one experiment (e.g. ``table3``,
+  ``fig13``, ``ext_deployment``) and print its rendered result;
+* ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
+  full energy map (optionally the raw log dump);
+* ``validate [--seed N]`` — run Blink and lint its log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional, Sequence
+
+EXPERIMENT_IDS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "ablation_weighting", "ablation_logging", "ablation_noise",
+    "ablation_proxies", "ablation_model_vs_meter",
+    "ext_collection", "ext_txpower", "ext_deployment",
+)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for exp_id in EXPERIMENT_IDS:
+        module = importlib.import_module(f"repro.experiments.{exp_id}")
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{exp_id:<24} {summary}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id not in EXPERIMENT_IDS:
+        print(f"unknown experiment {args.id!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{args.id}")
+    result = module.run(seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_blink(args: argparse.Namespace) -> int:
+    from repro.apps.blink import BlinkApp
+    from repro.core.report import format_table
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngFactory
+    from repro.toolkit.logdump import dump_log
+    from repro.tos.node import COMPONENT_NAMES, NodeConfig, QuantoNode
+    from repro.units import seconds, to_mj
+
+    sim = Simulator()
+    node = QuantoNode(sim, NodeConfig(node_id=1),
+                      rng_factory=RngFactory(args.seed))
+    app = BlinkApp()
+    node.boot(app.start)
+    sim.run(until=seconds(args.seconds))
+    if args.dump:
+        print(dump_log(node.entries(), node.registry, COMPONENT_NAMES,
+                       limit=args.dump_limit))
+        return 0
+    emap = node.energy_map()
+    rows = [(name, f"{to_mj(e):.2f}")
+            for name, e in sorted(emap.energy_by_activity().items())]
+    print(format_table(("activity", "E (mJ)"), rows,
+                       title=f"Blink, {args.seconds} s, seed {args.seed}"))
+    print(f"\n{node.logger.records_written} log entries; accounting "
+          f"error {emap.accounting_error * 100:.4f} %")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.apps.blink import BlinkApp
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngFactory
+    from repro.toolkit.validate import validate_log
+    from repro.tos.node import NodeConfig, QuantoNode
+    from repro.units import seconds
+
+    sim = Simulator()
+    node = QuantoNode(sim, NodeConfig(node_id=1),
+                      rng_factory=RngFactory(args.seed))
+    app = BlinkApp()
+    node.boot(app.start)
+    sim.run(until=seconds(16))
+    node.mark_log_end()
+    issues = validate_log(node.entries())
+    if not issues:
+        print("log is clean")
+        return 0
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity == "error"]
+    return 1 if errors else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quanto (OSDI 2008) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    p_exp = sub.add_parser("experiment", help="run one experiment")
+    p_exp.add_argument("id")
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_blink = sub.add_parser("blink", help="run Blink and print the map")
+    p_blink.add_argument("--seconds", type=int, default=48)
+    p_blink.add_argument("--seed", type=int, default=0)
+    p_blink.add_argument("--dump", action="store_true",
+                         help="print the raw log instead of the map")
+    p_blink.add_argument("--dump-limit", type=int, default=60)
+
+    p_val = sub.add_parser("validate", help="lint a Blink run's log")
+    p_val.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "blink": _cmd_blink,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Activity labels: ⟨origin node : activity id⟩ pairs.
+
+The paper encodes a label in 16 bits — 8 bits of origin node id and 8 bits
+of statically defined activity id — "sufficient for networks of up to 256
+nodes with 256 distinct activity ids" (Section 3.3).  We use the same
+encoding, both in log entries and in the hidden packet field, so the wire
+format constraints are honored.
+
+Well-known ids: 0 is the idle activity; ids 0xC8 and up are reserved for
+interrupt proxy activities (statically assigned per interrupt vector, as
+the paper does for the non-reentrant MSP430 interrupt model) and for
+Quanto's own bookkeeping activity (the continuous-logging drain task,
+which accounts for itself like Unix ``top``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ActivityError
+
+#: The idle activity id (activity of a device doing nothing).
+IDLE_ID = 0
+
+#: First id reserved for interrupt proxy activities.
+PROXY_BASE = 0xC8
+
+#: Statically assigned proxy ids, one per interrupt source (paper §3.3).
+PROXY_IDS = {
+    "int_TIMERB0": PROXY_BASE + 0,
+    "int_TIMERB1": PROXY_BASE + 1,
+    "int_TIMERA1": PROXY_BASE + 2,
+    "int_UART0RX": PROXY_BASE + 3,
+    "int_DACDMA": PROXY_BASE + 4,
+    "pxy_RX": PROXY_BASE + 5,
+    "int_SENSOR": PROXY_BASE + 6,
+    "int_FLASH": PROXY_BASE + 7,
+    "int_ADC": PROXY_BASE + 8,
+    "int_RADIO": PROXY_BASE + 9,
+}
+
+#: Quanto's own activity (drain-mode logging accounts for itself).
+QUANTO_ID = PROXY_BASE + 15
+
+
+@dataclass(frozen=True, order=True)
+class ActivityLabel:
+    """An activity label: where it started and which activity it is."""
+
+    origin: int
+    aid: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.origin <= 0xFF:
+            raise ActivityError(f"origin {self.origin} does not fit in 8 bits")
+        if not 0 <= self.aid <= 0xFF:
+            raise ActivityError(f"activity id {self.aid} does not fit in 8 bits")
+
+    def encode(self) -> int:
+        """16-bit wire encoding: origin in the high byte."""
+        return (self.origin << 8) | self.aid
+
+    @staticmethod
+    def decode(value: int) -> "ActivityLabel":
+        if not 0 <= value <= 0xFFFF:
+            raise ActivityError(f"encoded label {value} does not fit in 16 bits")
+        return ActivityLabel(origin=value >> 8, aid=value & 0xFF)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.aid == IDLE_ID
+
+    @property
+    def is_proxy(self) -> bool:
+        return PROXY_BASE <= self.aid < PROXY_BASE + 15
+
+    def __str__(self) -> str:
+        return f"{self.origin}:{self.aid}"
+
+
+def idle_label(origin: int = 0) -> ActivityLabel:
+    """The idle activity (conventionally rendered as ``Idle``)."""
+    return ActivityLabel(origin=origin, aid=IDLE_ID)
+
+
+class ActivityRegistry:
+    """Maps activity ids to programmer-facing names.
+
+    Ids are statically defined (as in the paper); the registry exists so
+    reports can render ``1:Red`` or ``4:BounceApp`` instead of raw pairs.
+    One registry is shared across a network — activity ids are a global
+    namespace in the paper's deployments.
+    """
+
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {IDLE_ID: "Idle", QUANTO_ID: "Quanto"}
+        for name, aid in PROXY_IDS.items():
+            self._names[aid] = name
+        self._next_id = 1
+
+    def register(self, name: str, aid: int | None = None) -> int:
+        """Register a named activity; returns its id.  Re-registering the
+        same name returns the existing id."""
+        for existing_id, existing_name in self._names.items():
+            if existing_name == name:
+                return existing_id
+        if aid is None:
+            aid = self._next_id
+            while aid in self._names:
+                aid += 1
+        if aid in self._names:
+            raise ActivityError(
+                f"id {aid} already registered as {self._names[aid]!r}"
+            )
+        if not 0 < aid < PROXY_BASE:
+            raise ActivityError(
+                f"application activity id {aid} must be in 1..{PROXY_BASE - 1}"
+            )
+        self._names[aid] = name
+        self._next_id = max(self._next_id, aid + 1)
+        return aid
+
+    def label(self, origin: int, name: str) -> ActivityLabel:
+        """Look up (registering if needed) a label by name."""
+        return ActivityLabel(origin=origin, aid=self.register(name))
+
+    def name_of(self, label: ActivityLabel) -> str:
+        """Render a label like the paper's figures: ``origin:Name``."""
+        name = self._names.get(label.aid, f"act{label.aid}")
+        return f"{label.origin}:{name}"
+
+    def known_ids(self) -> dict[int, str]:
+        return dict(self._names)

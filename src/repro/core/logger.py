@@ -1,0 +1,335 @@
+"""The Quanto event log (paper Section 4.4 and Table 4).
+
+Every power-state change and activity change produces one 12-byte entry::
+
+    typedef struct entry_t {
+        uint8_t  type;    // entry type
+        uint8_t  res_id;  // hardware resource
+        uint32_t time;    // local time (us, wraps)
+        uint32_t ic;      // iCount cumulative pulses (wraps)
+        union { uint16_t act; uint16_t powerstate; };
+    } entry_t;                      // 12 bytes
+
+We pack entries with ``struct`` into a real 12-byte wire format, so the
+RAM budget, field widths, and wrap-around behaviour are honoured, and the
+offline decoder has to unwrap 32-bit timestamps the way a real tool would.
+
+Costs (Table 4): each synchronous record charges **102 cycles** to the CPU
+(41 call overhead + 19 timer read + 24 iCount read + 18 bookkeeping).  The
+buffer holds 800 entries by default.  Two modes:
+
+* ``ram`` — log to the fixed buffer; when full, stop recording (the
+  experiment harness sizes the buffer for the run, like the paper's
+  stop-and-dump approach).
+* ``drain`` — continuous logging: a low-priority task empties the buffer
+  to a backchannel while the CPU would otherwise be idle, charging its own
+  CPU time to Quanto's own activity (like Unix ``top`` accounting for
+  itself; the paper measured 4–15 % CPU for this mode).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.labels import ActivityLabel
+from repro.errors import LoggerError, LogOverflowError
+
+ENTRY_STRUCT = struct.Struct("<BBIIH")
+ENTRY_SIZE = ENTRY_STRUCT.size  # 12 bytes
+assert ENTRY_SIZE == 12
+
+# Entry types.
+TYPE_POWERSTATE = 1
+TYPE_ACT_CHANGE = 2
+TYPE_ACT_BIND = 3
+TYPE_ACT_ADD = 4
+TYPE_ACT_REMOVE = 5
+TYPE_BOOT = 6  # initial-state snapshot marker
+
+TYPE_NAMES = {
+    TYPE_POWERSTATE: "powerstate",
+    TYPE_ACT_CHANGE: "act_change",
+    TYPE_ACT_BIND: "act_bind",
+    TYPE_ACT_ADD: "act_add",
+    TYPE_ACT_REMOVE: "act_remove",
+    TYPE_BOOT: "boot",
+}
+
+# Cost model (Table 4), in CPU cycles at 1 MHz.
+COST_CALL_OVERHEAD = 41
+COST_READ_TIMER = 19
+COST_READ_ICOUNT = 24
+COST_OTHER = 18
+COST_TOTAL = COST_CALL_OVERHEAD + COST_READ_TIMER + COST_READ_ICOUNT + COST_OTHER
+assert COST_TOTAL == 102
+
+DEFAULT_BUFFER_ENTRIES = 800
+
+#: Drain mode: cycles to push one entry out the backchannel port.
+DRAIN_CYCLES_PER_ENTRY = 48
+#: Drain mode: entries shipped per drain-task invocation.
+DRAIN_BATCH = 16
+
+#: Stop-and-dump mode: cycles to ship one 12-byte entry over the serial
+#: port (~104 bits at 57.6 kbit/s at 1 MHz ~= 1.8 ms).
+DUMP_CYCLES_PER_ENTRY = 1800
+#: Entries shipped per dump-task invocation (bounds job length).
+DUMP_BATCH = 32
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A decoded log entry with the unwrapped absolute timestamp."""
+
+    type: int
+    res_id: int
+    time_us: int  # unwrapped, monotone
+    icount: int  # unwrapped, monotone
+    value: int
+    seq: int  # position in the log (stable tie-break for equal times)
+
+    @property
+    def type_name(self) -> str:
+        return TYPE_NAMES.get(self.type, f"type{self.type}")
+
+    @property
+    def label(self) -> ActivityLabel:
+        """Interpret ``value`` as an activity label."""
+        return ActivityLabel.decode(self.value)
+
+    @property
+    def time_ns(self) -> int:
+        return self.time_us * 1000
+
+
+class QuantoLogger:
+    """Synchronous event recording with the paper's cost model."""
+
+    def __init__(
+        self,
+        mcu,
+        icount,
+        mode: str = "ram",
+        buffer_entries: int = DEFAULT_BUFFER_ENTRIES,
+        strict_overflow: bool = False,
+        auto_dump: bool = False,
+        scheduler=None,
+        quanto_activity: Optional[ActivityLabel] = None,
+        cpu_activity=None,
+    ) -> None:
+        if mode not in ("ram", "drain"):
+            raise LoggerError(f"unknown logger mode {mode!r}")
+        # Note: in drain mode the scheduler may be attached after
+        # construction (the node wires the logger before the scheduler
+        # exists); it must be present by the first record.
+        self.mcu = mcu
+        self.icount = icount
+        self.mode = mode
+        self.buffer_entries = int(buffer_entries)
+        self.strict_overflow = strict_overflow
+        #: Paper §4.4 first approach: when the RAM buffer fills, stop
+        #: logging, dump it to the serial port (a real blackout window —
+        #: events during the dump are lost), then resume.
+        self.auto_dump = auto_dump
+        self.scheduler = scheduler
+        self.quanto_activity = quanto_activity
+        self.cpu_activity = cpu_activity
+        self._buffer = bytearray()
+        self._dumped = bytearray()  # entries shipped off-node (drain mode)
+        self.enabled = True
+        self.stopped_on_overflow = False
+        self.records_written = 0
+        self.records_dropped = 0
+        self.drain_task_runs = 0
+        self._drain_scheduled = False
+        self._dumping = False
+        self.dumps_completed = 0
+        self.dump_cycles_total = 0
+
+    # -- recording (synchronous path) ------------------------------------
+
+    def record(self, entry_type: int, res_id: int, value: int) -> None:
+        """Record one event.  Must be called from CPU job context (drivers
+        and OS instrumentation always are); charges 102 cycles."""
+        if not self.enabled or self.stopped_on_overflow:
+            self.records_dropped += 1
+            return
+        # The synchronous cost: reading the timer and iCount and storing
+        # the entry.  Charged to whatever activity the CPU currently has,
+        # exactly like the real implementation.  The timestamp is the
+        # cycle-advanced virtual time, so records within one CPU job carry
+        # strictly increasing times.
+        self.mcu.consume(COST_TOTAL)
+        virtual_ns = self.mcu.virtual_now()
+        time_us = (virtual_ns // 1000) & 0xFFFFFFFF
+        pulses = self.icount.read(at_ns=virtual_ns) & 0xFFFFFFFF
+        packed = ENTRY_STRUCT.pack(
+            entry_type & 0xFF, res_id & 0xFF, time_us, pulses, value & 0xFFFF
+        )
+        if len(self._buffer) >= self.buffer_entries * ENTRY_SIZE:
+            if self.strict_overflow:
+                raise LogOverflowError(
+                    f"log buffer full ({self.buffer_entries} entries)"
+                )
+            if self.auto_dump:
+                self._start_dump()
+                self.records_dropped += 1  # lost in the blackout
+                return
+            self.stopped_on_overflow = True
+            self.records_dropped += 1
+            return
+        self._buffer.extend(packed)
+        self.records_written += 1
+        if self.mode == "drain":
+            self._schedule_drain()
+
+    # -- convenience recorders (the observer-pattern glue) -----------------
+
+    def on_powerstate(self, var, value: int) -> None:
+        self.record(TYPE_POWERSTATE, var.res_id, value)
+
+    def on_single_activity(self, device, label: ActivityLabel,
+                           bound: bool) -> None:
+        entry_type = TYPE_ACT_BIND if bound else TYPE_ACT_CHANGE
+        self.record(entry_type, device.res_id, label.encode())
+
+    def on_multi_activity(self, device, label: ActivityLabel,
+                          added: bool) -> None:
+        entry_type = TYPE_ACT_ADD if added else TYPE_ACT_REMOVE
+        self.record(entry_type, device.res_id, label.encode())
+
+    def record_boot_snapshot(self, tracker, activity_devices) -> None:
+        """Record the initial power-state vector and activity of every
+        device so the decoder knows the starting conditions."""
+        for var in tracker.all_vars():
+            self.record(TYPE_BOOT, var.res_id, var.value)
+        for device in activity_devices:
+            if isinstance(device, object) and hasattr(device, "get"):
+                self.record(TYPE_ACT_CHANGE, device.res_id,
+                            device.get().encode())
+
+    # -- stop-and-dump mode -------------------------------------------------
+
+    def _start_dump(self) -> None:
+        """Begin the §4.4 stop-and-dump cycle: logging pauses, a task
+        ships the buffer over the serial port, logging resumes.  Events
+        during the dump are lost — the cost of this mode's simplicity."""
+        if self._dumping:
+            return
+        if self.scheduler is None:
+            # Without a scheduler the dump cannot be performed; behave
+            # like the plain stop-on-overflow mode.
+            self.stopped_on_overflow = True
+            return
+        self._dumping = True
+        self.enabled = False
+        self.scheduler.post_function(self._dump_task, cycles=0,
+                                     label="quanto-dump")
+
+    def _dump_task(self) -> None:
+        """Ship one batch to the serial port (runs under Quanto's own
+        activity when one is configured)."""
+        previous = None
+        if self.quanto_activity is not None and self.cpu_activity is not None:
+            previous = self.cpu_activity.get()
+            self.cpu_activity.set(self.quanto_activity)
+        batch_bytes = min(len(self._buffer), DUMP_BATCH * ENTRY_SIZE)
+        cycles = (batch_bytes // ENTRY_SIZE) * DUMP_CYCLES_PER_ENTRY
+        self.mcu.consume(cycles)
+        self.dump_cycles_total += cycles
+        self._dumped.extend(self._buffer[:batch_bytes])
+        del self._buffer[:batch_bytes]
+        if previous is not None:
+            self.cpu_activity.set(previous)
+        if self._buffer:
+            self.scheduler.post_function(self._dump_task, cycles=0,
+                                         label="quanto-dump")
+            return
+        self._dumping = False
+        self.enabled = True
+        self.dumps_completed += 1
+
+    # -- drain mode -------------------------------------------------------
+
+    def _schedule_drain(self) -> None:
+        """Queue the drain task once at least a full batch has built up.
+        The threshold matters: the drain's own activity switches are
+        themselves logged (Quanto accounts for Quanto), so draining
+        single entries would regenerate work as fast as it shipped it."""
+        if self._drain_scheduled:
+            return
+        if len(self._buffer) < DRAIN_BATCH * ENTRY_SIZE:
+            return
+        if self.scheduler is None:
+            raise LoggerError("drain mode needs a scheduler attached")
+        self._drain_scheduled = True
+        self.scheduler.post_function(self._drain_task, cycles=0,
+                                     label="quanto-drain")
+
+    def _drain_task(self) -> None:
+        """The low-priority drain: ships a batch, charging its cycles to
+        the Quanto activity (so the profile accounts for the profiler)."""
+        self._drain_scheduled = False
+        if not self._buffer:
+            return
+        previous = None
+        if self.quanto_activity is not None and self.cpu_activity is not None:
+            previous = self.cpu_activity.get()
+            self.cpu_activity.set(self.quanto_activity)
+        batch_bytes = min(len(self._buffer), DRAIN_BATCH * ENTRY_SIZE)
+        self.mcu.consume((batch_bytes // ENTRY_SIZE) * DRAIN_CYCLES_PER_ENTRY)
+        self._dumped.extend(self._buffer[:batch_bytes])
+        del self._buffer[:batch_bytes]
+        self.drain_task_runs += 1
+        if previous is not None:
+            self.cpu_activity.set(previous)
+        self._schedule_drain()
+
+    # -- offline access ----------------------------------------------------
+
+    def raw_bytes(self) -> bytes:
+        """Everything recorded: shipped entries plus the residual buffer."""
+        return bytes(self._dumped + self._buffer)
+
+    def ram_bytes_used(self) -> int:
+        return len(self._buffer)
+
+    def decode(self) -> list[LogEntry]:
+        """Decode the log, unwrapping the 32-bit time and iCount fields."""
+        return decode_log(self.raw_bytes())
+
+
+def decode_log(raw: bytes) -> list[LogEntry]:
+    """Decode packed entries, unwrapping u32 time and iCount wrap-around."""
+    if len(raw) % ENTRY_SIZE:
+        raise LoggerError(
+            f"log length {len(raw)} is not a multiple of {ENTRY_SIZE}"
+        )
+    entries: list[LogEntry] = []
+    time_base = 0
+    last_time = 0
+    ic_base = 0
+    last_ic = 0
+    for seq, offset in enumerate(range(0, len(raw), ENTRY_SIZE)):
+        entry_type, res_id, time_us, pulses, value = ENTRY_STRUCT.unpack_from(
+            raw, offset
+        )
+        if entries:
+            if time_us < last_time:
+                time_base += 1 << 32
+            if pulses < last_ic:
+                ic_base += 1 << 32
+        last_time, last_ic = time_us, pulses
+        entries.append(
+            LogEntry(
+                type=entry_type,
+                res_id=res_id,
+                time_us=time_base + time_us,
+                icount=ic_base + pulses,
+                value=value,
+                seq=seq,
+            )
+        )
+    return entries

@@ -1,0 +1,82 @@
+"""Network-wide energy accounting: merging per-node energy maps.
+
+The payoff of carrying activity labels across nodes (paper §3.3 and the
+"tracking butterfly effects" direction in §5.3): because node B's work on
+node A's packet is charged to ``A:Activity``, summing per-node energy
+maps by activity yields the *network-wide* cost of each activity — e.g.
+the total energy a flood initiated at one node consumed everywhere.
+
+Per-node logs use per-node clocks; this merge only aggregates totals, so
+clock skew between nodes does not matter (time-aligned cross-node
+timelines would need a sync protocol, which the paper also does not
+assume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.accounting import CONST_KEY, EnergyMap
+
+
+@dataclass
+class NetworkEnergyReport:
+    """Aggregated network-wide view."""
+
+    #: (node_id, component, activity) -> joules
+    per_node: dict[tuple[int, str, str], float] = field(default_factory=dict)
+    #: activity -> joules across all nodes
+    by_activity: dict[str, float] = field(default_factory=dict)
+    #: activity -> {node_id: joules}; shows how an activity's cost spreads
+    spread: dict[str, dict[int, float]] = field(default_factory=dict)
+    total_j: float = 0.0
+
+    def remote_fraction(self, activity: str, origin_node: int) -> float:
+        """Fraction of an activity's energy spent on *other* nodes — the
+        quantified butterfly effect."""
+        nodes = self.spread.get(activity, {})
+        total = sum(nodes.values())
+        if total == 0.0:
+            return 0.0
+        remote = sum(j for node, j in nodes.items() if node != origin_node)
+        return remote / total
+
+
+def merge_energy_maps(
+    maps: dict[int, EnergyMap],
+    include_const: bool = False,
+) -> NetworkEnergyReport:
+    """Aggregate per-node maps into the network-wide report.
+
+    ``include_const`` folds each node's constant baseline in; by default
+    it is excluded so the report shows *attributable* energy (the paper's
+    activity tables treat Const. as its own row for the same reason).
+    """
+    report = NetworkEnergyReport()
+    for node_id, energy_map in maps.items():
+        for (component, activity), joules in energy_map.energy_j.items():
+            if not include_const and activity == CONST_KEY:
+                continue
+            report.per_node[(node_id, component, activity)] = (
+                report.per_node.get((node_id, component, activity), 0.0)
+                + joules
+            )
+            report.by_activity[activity] = (
+                report.by_activity.get(activity, 0.0) + joules
+            )
+            report.spread.setdefault(activity, {})
+            report.spread[activity][node_id] = (
+                report.spread[activity].get(node_id, 0.0) + joules
+            )
+            report.total_j += joules
+    return report
+
+
+def activities_by_origin(report: NetworkEnergyReport,
+                         origin: int) -> list[str]:
+    """Activity names originating at a node (rendered ``origin:Name``)."""
+    prefix = f"{origin}:"
+    return sorted(
+        name for name in report.by_activity if name.startswith(prefix)
+    )

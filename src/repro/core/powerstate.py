@@ -1,0 +1,130 @@
+"""The PowerState / PowerStateTrack interfaces (paper Figures 1 and 3).
+
+Device drivers expose hardware power states by calling ``set`` (or
+``set_bits`` for multi-field registers) on their :class:`PowerStateVar`.
+The variable is idempotent — signalling the same state twice produces no
+notification — and the :class:`PowerStateTracker` fans actual changes out
+to registered listeners (the Quanto logger, tests, online accountants).
+
+Each variable also carries *instrumentation metadata*: names for its state
+values and which value is the baseline (off/sleep).  The offline analysis
+uses that metadata to build regression columns; it is knowledge about the
+instrumented platform, not ground truth about actual draws.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import PowerModelError
+
+#: Tracker callback: fn(var, new_value)
+PowerTrackFn = Callable[["PowerStateVar", int], None]
+
+
+class PowerStateVar:
+    """One energy sink's power state, as the driver exposes it."""
+
+    def __init__(
+        self,
+        name: str,
+        res_id: int,
+        state_names: Optional[dict[int, str]] = None,
+        baseline_value: int = 0,
+        initial_value: int = 0,
+    ):
+        self.name = name
+        self.res_id = res_id
+        self.state_names = dict(state_names or {0: "OFF", 1: "ON"})
+        self.baseline_value = baseline_value
+        self._value = initial_value
+        self._trackers: list[PowerTrackFn] = []
+        self.change_count = 0
+
+    def add_tracker(self, fn: PowerTrackFn) -> None:
+        """Subscribe to PowerStateTrack change events."""
+        self._trackers.append(fn)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def state_name(self, value: Optional[int] = None) -> str:
+        v = self._value if value is None else value
+        return self.state_names.get(v, f"state{v}")
+
+    def set(self, value: int) -> None:
+        """Set the power state.  Idempotent: no change, no notification."""
+        if not 0 <= value <= 0xFFFF:
+            raise PowerModelError(
+                f"{self.name}: power state {value} does not fit in 16 bits"
+            )
+        if value == self._value:
+            return
+        self._value = value
+        self.change_count += 1
+        for tracker in self._trackers:
+            tracker(self, value)
+
+    def set_bits(self, mask: int, offset: int, value: int) -> None:
+        """Update a bit-field within the state word (paper Figure 1's
+        ``setBits``), for devices whose state is a composite register."""
+        if mask < 0 or offset < 0:
+            raise PowerModelError("mask and offset must be non-negative")
+        cleared = self._value & ~(mask << offset)
+        self.set(cleared | ((value & mask) << offset))
+
+
+class PowerStateTracker:
+    """The node-wide registry of power-state variables.
+
+    The glue component of paper Section 2.4: drivers own the variables;
+    the tracker knows all of them, forwards changes to node-level
+    listeners, and hands the offline analysis its column layout.
+    """
+
+    def __init__(self) -> None:
+        self._vars: dict[int, PowerStateVar] = {}
+        self._listeners: list[PowerTrackFn] = []
+
+    def create(
+        self,
+        name: str,
+        res_id: int,
+        state_names: Optional[dict[int, str]] = None,
+        baseline_value: int = 0,
+        initial_value: int = 0,
+    ) -> PowerStateVar:
+        """Create and register a variable for one energy sink."""
+        if res_id in self._vars:
+            raise PowerModelError(f"res_id {res_id} already registered "
+                                  f"({self._vars[res_id].name})")
+        var = PowerStateVar(name, res_id, state_names, baseline_value,
+                            initial_value)
+        var.add_tracker(self._forward)
+        self._vars[res_id] = var
+        return var
+
+    def _forward(self, var: PowerStateVar, value: int) -> None:
+        for listener in self._listeners:
+            listener(var, value)
+
+    def add_listener(self, fn: PowerTrackFn) -> None:
+        """Subscribe to changes of *every* registered variable."""
+        self._listeners.append(fn)
+
+    def var(self, res_id: int) -> PowerStateVar:
+        try:
+            return self._vars[res_id]
+        except KeyError:
+            raise PowerModelError(f"no power-state var with res_id {res_id}") \
+                from None
+
+    def all_vars(self) -> list[PowerStateVar]:
+        """All variables, ordered by res_id (the analysis layout)."""
+        return [self._vars[rid] for rid in sorted(self._vars)]
+
+    def snapshot(self) -> dict[int, int]:
+        """Current state of every sink (res_id -> value), e.g. for boot
+        records so the offline pass knows the initial vector."""
+        return {rid: var.value for rid, var in sorted(self._vars.items())}

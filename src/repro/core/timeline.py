@@ -1,0 +1,288 @@
+"""Offline reconstruction of power-state intervals and activity segments.
+
+The decoded log is a single interleaved stream of power-state changes and
+activity changes across all devices.  This module rebuilds:
+
+* **Power intervals** — maximal spans during which *every* sink's power
+  state is constant, each annotated with the iCount pulse delta (the
+  ``(dE, dt, alpha-vector)`` tuples that feed the Section 2.5 regression);
+* **Activity segments** — per-device spans painted with one activity
+  (single-activity devices) or a set (multi-activity devices), with proxy
+  ``bind`` events resolved so a proxy segment knows which real activity
+  absorbed it.
+
+Everything here consumes only the log plus instrumentation metadata (which
+res_ids exist, what their state values are named) — never ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.labels import ActivityLabel
+from repro.core.logger import (
+    LogEntry,
+    TYPE_ACT_ADD,
+    TYPE_ACT_BIND,
+    TYPE_ACT_CHANGE,
+    TYPE_ACT_REMOVE,
+    TYPE_BOOT,
+    TYPE_POWERSTATE,
+)
+from repro.errors import RegressionError
+
+
+@dataclass(frozen=True)
+class PowerInterval:
+    """A span of constant power states across all sinks."""
+
+    t0_ns: int
+    t1_ns: int
+    pulses: int  # iCount pulses accumulated over the interval
+    states: tuple[tuple[int, int], ...]  # sorted (res_id, value) pairs
+
+    @property
+    def dt_ns(self) -> int:
+        return self.t1_ns - self.t0_ns
+
+    def energy_j(self, energy_per_pulse_j: float) -> float:
+        return self.pulses * energy_per_pulse_j
+
+    def state_of(self, res_id: int) -> Optional[int]:
+        for rid, value in self.states:
+            if rid == res_id:
+                return value
+        return None
+
+
+@dataclass
+class ActivitySegment:
+    """A span during which one device was painted with one activity."""
+
+    res_id: int
+    t0_ns: int
+    t1_ns: int
+    label: ActivityLabel
+    bound_to: Optional[ActivityLabel] = None
+
+    @property
+    def dt_ns(self) -> int:
+        return self.t1_ns - self.t0_ns
+
+    @property
+    def effective_label(self) -> ActivityLabel:
+        """The activity this segment's usage is charged to (the bind
+        target when a proxy was resolved, else the painted label)."""
+        return self.bound_to if self.bound_to is not None else self.label
+
+
+@dataclass
+class MultiActivitySegment:
+    """A span during which a multi-activity device served a label set."""
+
+    res_id: int
+    t0_ns: int
+    t1_ns: int
+    labels: frozenset[ActivityLabel]
+
+    @property
+    def dt_ns(self) -> int:
+        return self.t1_ns - self.t0_ns
+
+
+class TimelineBuilder:
+    """Rebuilds intervals and segments from one node's decoded log."""
+
+    def __init__(
+        self,
+        entries: list[LogEntry],
+        end_time_ns: Optional[int] = None,
+        single_res_ids: Optional[Iterable[int]] = None,
+        multi_res_ids: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.entries = sorted(entries, key=lambda e: (e.time_us, e.seq))
+        if end_time_ns is None and self.entries:
+            end_time_ns = self.entries[-1].time_ns
+        self.end_time_ns = end_time_ns or 0
+        self._single_ids = set(single_res_ids or [])
+        self._multi_ids = set(multi_res_ids or [])
+        # Devices not declared either way are inferred from entry types.
+        for entry in self.entries:
+            if entry.type in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
+                if entry.res_id not in self._multi_ids:
+                    self._single_ids.add(entry.res_id)
+            elif entry.type in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
+                self._multi_ids.add(entry.res_id)
+
+    # -- power intervals ----------------------------------------------------
+
+    def power_intervals(self) -> list[PowerInterval]:
+        """Spans of constant power state, with their pulse deltas.
+
+        Boot entries establish the initial vector without opening an
+        interval boundary; subsequent power-state entries close the running
+        interval and start the next.
+        """
+        intervals: list[PowerInterval] = []
+        states: dict[int, int] = {}
+        span_start_ns: Optional[int] = None
+        span_start_pulses = 0
+        for entry in self.entries:
+            if entry.type == TYPE_BOOT:
+                states[entry.res_id] = entry.value
+                if span_start_ns is None:
+                    span_start_ns = entry.time_ns
+                    span_start_pulses = entry.icount
+                continue
+            if entry.type != TYPE_POWERSTATE:
+                continue
+            if span_start_ns is None:
+                span_start_ns = entry.time_ns
+                span_start_pulses = entry.icount
+                states[entry.res_id] = entry.value
+                continue
+            if entry.time_ns > span_start_ns:
+                intervals.append(
+                    PowerInterval(
+                        t0_ns=span_start_ns,
+                        t1_ns=entry.time_ns,
+                        pulses=entry.icount - span_start_pulses,
+                        states=tuple(sorted(states.items())),
+                    )
+                )
+                span_start_ns = entry.time_ns
+                span_start_pulses = entry.icount
+            states[entry.res_id] = entry.value
+        # Trailing span: energy is only measured up to the last record, so
+        # the final interval ends there — time past the last record is
+        # unobservable, exactly as when a real node dumps its log.
+        if span_start_ns is not None and self.entries:
+            last = self.entries[-1]
+            if last.time_ns > span_start_ns:
+                intervals.append(
+                    PowerInterval(
+                        t0_ns=span_start_ns,
+                        t1_ns=last.time_ns,
+                        pulses=max(last.icount - span_start_pulses, 0),
+                        states=tuple(sorted(states.items())),
+                    )
+                )
+        return intervals
+
+    # -- single-activity segments --------------------------------------------
+
+    def activity_segments(
+        self,
+        res_id: int,
+        bind_horizon_ns: Optional[int] = None,
+    ) -> list[ActivitySegment]:
+        """The painted-activity history of one single-activity device,
+        with bind events resolved onto the segments they absorb.
+
+        Bind semantics follow the paper: "the resources used by a proxy
+        activity are accounted for separately, and then assigned to the
+        real activity as soon as the system can determine what this
+        activity is."  Concretely, a bind of label ``N`` while the device
+        carries label ``L`` resolves *every not-yet-resolved segment of
+        L* (one reception episode spans many proxy fragments interleaved
+        with sleep), and resolution chains transitively — a UART proxy
+        bound to the RX proxy bound to a remote activity ends up charged
+        to the remote activity.
+
+        ``bind_horizon_ns`` optionally limits how far back a bind
+        reaches; useful when the same proxy has unrelated earlier
+        episodes that legitimately never resolved (e.g. LPL false
+        positives followed by a real reception).
+        """
+        if res_id in self._multi_ids:
+            raise RegressionError(
+                f"res_id {res_id} is a multi-activity device"
+            )
+        segments: list[ActivitySegment] = []
+        # Segments awaiting resolution, keyed by the label they are
+        # currently attributed to (their own label, or a proxy they were
+        # already bound to).
+        unresolved: dict[ActivityLabel, list[ActivitySegment]] = {}
+        current_label: Optional[ActivityLabel] = None
+        start_ns = 0
+
+        def close_segment(t1_ns: int) -> None:
+            if current_label is None or t1_ns <= start_ns:
+                return
+            segment = ActivitySegment(
+                res_id=res_id, t0_ns=start_ns, t1_ns=t1_ns,
+                label=current_label,
+            )
+            segments.append(segment)
+            unresolved.setdefault(current_label, []).append(segment)
+
+        for entry in self.entries:
+            if entry.res_id != res_id:
+                continue
+            if entry.type not in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
+                continue
+            new_label = entry.label
+            close_segment(entry.time_ns)
+            if entry.type == TYPE_ACT_BIND and current_label is not None:
+                pending = unresolved.pop(current_label, [])
+                kept: list[ActivitySegment] = []
+                for segment in pending:
+                    if (bind_horizon_ns is not None
+                            and entry.time_ns - segment.t1_ns
+                            > bind_horizon_ns):
+                        continue  # stale episode: stays unbound
+                    segment.bound_to = new_label
+                    kept.append(segment)
+                # Transitivity: these now follow the new label's fate.
+                if kept:
+                    unresolved.setdefault(new_label, []).extend(kept)
+            current_label = new_label
+            start_ns = entry.time_ns
+        close_segment(self.end_time_ns)
+        return segments
+
+    # -- multi-activity segments ----------------------------------------------
+
+    def multi_activity_segments(self, res_id: int) -> list[MultiActivitySegment]:
+        """The activity-set history of one multi-activity device."""
+        segments: list[MultiActivitySegment] = []
+        current: set[ActivityLabel] = set()
+        start_ns = 0
+        started = False
+        for entry in self.entries:
+            if entry.res_id != res_id:
+                continue
+            if entry.type not in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
+                continue
+            if started and entry.time_ns > start_ns:
+                segments.append(
+                    MultiActivitySegment(
+                        res_id=res_id,
+                        t0_ns=start_ns,
+                        t1_ns=entry.time_ns,
+                        labels=frozenset(current),
+                    )
+                )
+            if entry.type == TYPE_ACT_ADD:
+                current.add(entry.label)
+            else:
+                current.discard(entry.label)
+            start_ns = entry.time_ns
+            started = True
+        if started and self.end_time_ns > start_ns:
+            segments.append(
+                MultiActivitySegment(
+                    res_id=res_id,
+                    t0_ns=start_ns,
+                    t1_ns=self.end_time_ns,
+                    labels=frozenset(current),
+                )
+            )
+        return segments
+
+    def single_device_ids(self) -> list[int]:
+        return sorted(self._single_ids)
+
+    def multi_device_ids(self) -> list[int]:
+        return sorted(self._multi_ids)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the Quanto reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type.  The names mirror the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised on misuse of the discrete-event engine (e.g. scheduling in
+    the past, running a finished simulator)."""
+
+
+class HardwareError(ReproError):
+    """Raised when a hardware model is driven into an illegal transition
+    (e.g. transmitting while the radio regulator is off)."""
+
+
+class PowerModelError(ReproError):
+    """Raised for inconsistent ground-truth power bookkeeping."""
+
+
+class LoggerError(ReproError):
+    """Raised by the Quanto logger (e.g. decoding a corrupt entry)."""
+
+
+class LogOverflowError(LoggerError):
+    """Raised when the fixed RAM log buffer overflows in ``strict`` mode."""
+
+
+class RegressionError(ReproError):
+    """Raised when the energy-breakdown regression cannot be solved
+    (e.g. no intervals, or a rank-deficient design matrix in strict mode)."""
+
+
+class ActivityError(ReproError):
+    """Raised on activity-label misuse (bad encoding, unknown ids)."""
+
+
+class NetworkError(ReproError):
+    """Raised by the radio channel / network substrate."""

@@ -1,0 +1,11 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every module exposes ``run(seed=0, **params) -> ExperimentResult``; the
+result carries the rendered text (the table/series the paper prints), the
+raw data, and paper-vs-measured comparisons.  The benchmark harness under
+``benchmarks/`` calls these and archives their output.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

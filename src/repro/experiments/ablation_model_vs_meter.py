@@ -1,0 +1,93 @@
+"""Ablation: model-based estimation (PowerTOSSIM-style) vs Quanto.
+
+The paper's core motivation: "in practice, the energy consumption of
+deployed systems differs greatly from expectations or what lab tests
+suggest", and model-based tools "do not capture the variability common
+in real hardware".  This ablation makes that quantitative on the Blink
+workload:
+
+* **ground truth** — the hidden per-sink integrators;
+* **Quanto** — regression over the *metered* aggregate (recovers actual
+  draws);
+* **model-based** — the same power-state log priced with Table 1
+  datasheet values (PowerTOSSIM's approach).
+
+On our (paper-calibrated) hardware the LEDs actually draw 42–58 % of
+their datasheet currents, so the model-based answer overshoots by ~2x
+while Quanto lands within a couple percent.
+"""
+
+from __future__ import annotations
+
+from repro.core.modelsim import model_based_estimate
+from repro.core.report import format_table
+from repro.experiments.common import ExperimentResult, run_blink
+from repro.units import to_mj, ua
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    node, app, sim = run_blink(seed)
+    timeline = node.timeline()
+    intervals = timeline.power_intervals()
+    layout = node.layout()
+    voltage = node.platform.rail.voltage
+
+    regression = node.regression(timeline)
+    # A model-based tool guesses the floor from the datasheet sleep draw.
+    model = model_based_estimate(
+        intervals, layout, voltage, baseline_amps=ua(2.6))
+
+    rows = []
+    errors_quanto = []
+    errors_model = []
+    for sink in ("LED0", "LED1", "LED2"):
+        truth_j = node.platform.rail.sink_energy(sink)
+        quanto_j = sum(
+            regression.power_w[sink] * iv.dt_ns * 1e-9
+            for iv in intervals
+            if dict(iv.states).get(
+                next(c.res_id for c in layout if c.name == sink)) == 1
+        )
+        model_j = model.energy_of(sink)
+        err_q = (quanto_j - truth_j) / truth_j * 100
+        err_m = (model_j - truth_j) / truth_j * 100
+        errors_quanto.append(abs(err_q))
+        errors_model.append(abs(err_m))
+        rows.append((
+            sink, f"{to_mj(truth_j):.2f}",
+            f"{to_mj(quanto_j):.2f}", f"{err_q:+.1f} %",
+            f"{to_mj(model_j):.2f}", f"{err_m:+.1f} %",
+        ))
+    table = format_table(
+        ("sink", "truth (mJ)", "Quanto (mJ)", "err", "model (mJ)", "err"),
+        rows,
+        title="per-sink energy on Blink: metered regression vs "
+              "datasheet model")
+
+    truth_total = node.platform.rail.energy()
+    note = (
+        f"totals: truth {to_mj(truth_total):.1f} mJ, Quanto "
+        f"{to_mj(sum(iv.pulses for iv in intervals) * node.platform.icount.nominal_energy_per_pulse_j):.1f} mJ "
+        f"(metered), model {to_mj(model.total_j):.1f} mJ — the model also "
+        f"misses the node's real constant floor (regulator quiescent draw), "
+        f"pricing idle at the 2.6 uA datasheet sleep current."
+    )
+
+    mean_q = sum(errors_quanto) / len(errors_quanto)
+    mean_m = sum(errors_model) / len(errors_model)
+    return ExperimentResult(
+        exp_id="ablation_model_vs_meter",
+        title="Why meter? Model-based (PowerTOSSIM-style) vs Quanto",
+        text="\n\n".join([table, note]),
+        data={
+            "mean_abs_err_quanto_pct": mean_q,
+            "mean_abs_err_model_pct": mean_m,
+            "model_total_mj": to_mj(model.total_j),
+            "truth_total_mj": to_mj(truth_total),
+        },
+        comparisons=[
+            ("Quanto mean |error| on LED energy (%)", 2.0, mean_q),
+            ("model-based mean |error| (datasheet vs actual, %)", 70.0,
+             mean_m),
+        ],
+    )

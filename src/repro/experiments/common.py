@@ -1,0 +1,100 @@
+"""Shared experiment plumbing: results, standard runs, comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.report import format_table
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.tos.node import NodeConfig, QuantoNode
+from repro.units import seconds
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment produces: rendered text plus raw data."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+    comparisons: list[tuple[str, float, float]] = field(default_factory=list)
+    # each comparison: (metric name, paper value, measured value)
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} ==", self.text]
+        if self.comparisons:
+            rows = []
+            for name, paper, measured in self.comparisons:
+                if paper:
+                    ratio = f"{measured / paper:.3f}"
+                else:
+                    ratio = "-"
+                rows.append((name, f"{paper:g}", f"{measured:.4g}", ratio))
+            parts.append("")
+            parts.append(format_table(
+                ("metric", "paper", "measured", "ratio"), rows,
+                title="paper vs measured"))
+        return "\n".join(parts)
+
+
+def run_blink(
+    seed: int = 0,
+    duration_ns: int = seconds(48),
+    node_id: int = 1,
+    **node_kwargs,
+) -> tuple[QuantoNode, "BlinkApp", Simulator]:
+    """The standard 48-second Blink run used by several experiments."""
+    from repro.apps.blink import BlinkApp
+
+    sim = Simulator()
+    node = QuantoNode(
+        sim, NodeConfig(node_id=node_id, **node_kwargs),
+        rng_factory=RngFactory(seed),
+    )
+    app = BlinkApp()
+    node.boot(app.start)
+    sim.run(until=duration_ns)
+    return node, app, sim
+
+
+def lanes_for(
+    node: QuantoNode,
+    timeline,
+    res_ids: dict[str, int],
+    t0_ns: int,
+    t1_ns: int,
+    hide_idle: bool = True,
+):
+    """Build Figure-11/12-style lane segments (component -> painted spans)
+    from a node's timeline, for :func:`repro.core.report.render_lanes`."""
+    from repro.core.report import LaneSegment
+
+    lanes: dict[str, list] = {}
+    idle_name = node.registry.name_of(node.idle)
+    for lane_name, res_id in res_ids.items():
+        segments = []
+        for seg in timeline.activity_segments(res_id):
+            if seg.t1_ns < t0_ns or seg.t0_ns > t1_ns:
+                continue
+            name = node.registry.name_of(seg.label)
+            if hide_idle and name == idle_name:
+                continue
+            segments.append(LaneSegment(seg.t0_ns, seg.t1_ns, name))
+        lanes[lane_name] = segments
+    return lanes
+
+
+def truth_current_ma(node: QuantoNode, sink: str, state: str) -> float:
+    """Ground-truth draw of one sink state, in mA — used only to *score*
+    estimates, never by the estimation pipeline."""
+    return node.platform.profile.current(sink, state) * 1e3
+
+
+def truth_baseline_ma(node: QuantoNode) -> float:
+    """Ground-truth always-on floor in mA (plus MCU sleep leakage)."""
+    profile = node.platform.profile
+    sleep = profile.current("CPU", node.config.platform.sleep_state)
+    return (profile.baseline_amps + sleep) * 1e3

@@ -1,0 +1,118 @@
+"""Figure 12: cross-node activity tracking in Bounce.
+
+Two nodes (ids 1 and 4) ping-pong two packets.  The checks that matter:
+
+* all of node 1's work on node 4's packet — reception, the indicator LED,
+  the bounce-back transmission — is charged to ``4:BounceApp``;
+* the reception detail shows the SFD interrupt, the per-pair SPI drain
+  under the ``pxy_RX`` proxy with ``int_UART0RX`` interleaved, then the
+  bind to the remote activity;
+* the transmission detail shows the SPI load, backoff (VTimer), and TX
+  under the packet's original activity.
+"""
+
+from __future__ import annotations
+
+from repro.core.logger import TYPE_ACT_BIND
+from repro.core.report import format_table, render_lanes
+from repro.experiments.common import ExperimentResult, lanes_for
+from repro.tos.mac import CsmaMac
+from repro.tos.network import Network
+from repro.tos.node import (
+    NodeConfig,
+    RES_CPU,
+    RES_LED1,
+    RES_LED2,
+    RES_RADIO,
+)
+from repro.units import ms, seconds, to_mj, to_ms
+
+LANE_IDS = {"cpu": RES_CPU, "cc2420": RES_RADIO, "led1": RES_LED1,
+            "led2": RES_LED2}
+
+
+def run(seed: int = 0, duration_ns: int = seconds(4)) -> ExperimentResult:
+    from repro.apps.bounce import BounceApp
+
+    network = Network(seed=seed)
+    node1 = network.add_node(NodeConfig(node_id=1, mac="csma"))
+    node4 = network.add_node(NodeConfig(node_id=4, mac="csma"))
+    # Staggered originations (as in the real app): simultaneous first
+    # sends would collide inside the TX-calibration blind window.
+    app1 = BounceApp(peer_id=4, originate_delay_ns=ms(250))
+    app4 = BounceApp(peer_id=1, originate_delay_ns=ms(650))
+    network.boot_all({1: app1.start, 4: app4.start})
+    network.run(duration_ns)
+
+    timeline = node1.timeline()
+    emap = node1.energy_map(timeline, fold_proxies=True)
+    by_act = emap.energy_by_activity()
+    remote_mj = to_mj(by_act.get("4:BounceApp", 0.0))
+    local_mj = to_mj(by_act.get("1:BounceApp", 0.0))
+
+    # (a) a 2-second window of node 1.
+    window_a = (seconds(1.5), seconds(3.5))
+    part_a = render_lanes(
+        lanes_for(node1, timeline, LANE_IDS, *window_a), *window_a,
+        width=96, title="(a) node 1, 2-second window")
+
+    # (b) reception detail: center on a bind of the pxy_RX proxy to the
+    # remote activity (node 4's label in the packet).
+    remote_label = node1.registry.label(4, "BounceApp")
+    rx_bind_ns = None
+    for entry in node1.entries():
+        if (entry.type == TYPE_ACT_BIND and entry.res_id == RES_CPU
+                and entry.value == remote_label.encode()):
+            rx_bind_ns = entry.time_ns
+            break
+    parts = [part_a]
+    if rx_bind_ns is not None:
+        window_b = (rx_bind_ns - ms(10), rx_bind_ns + ms(4))
+        parts.append(render_lanes(
+            lanes_for(node1, timeline, LANE_IDS, *window_b), *window_b,
+            width=96,
+            title=f"(b) packet reception carrying 4:BounceApp, around "
+                  f"{to_ms(rx_bind_ns):.1f} ms"))
+
+    # (c) transmission detail: the radio painted with the remote activity
+    # while node 1 bounces node 4's packet back.
+    tx_start_ns = None
+    for seg in timeline.activity_segments(RES_RADIO):
+        if (node1.registry.name_of(seg.label) == "4:BounceApp"
+                and (rx_bind_ns is None or seg.t0_ns > rx_bind_ns)):
+            tx_start_ns = seg.t0_ns
+            break
+    if tx_start_ns is not None:
+        window_c = (tx_start_ns - ms(2), tx_start_ns + ms(18))
+        parts.append(render_lanes(
+            lanes_for(node1, timeline, LANE_IDS, *window_c), *window_c,
+            width=96,
+            title="(c) node 1 transmitting as part of node 4's activity"))
+
+    summary = format_table(
+        ("activity", "E on node 1 (mJ)"),
+        [("4:BounceApp (remote)", f"{remote_mj:.3f}"),
+         ("1:BounceApp (local)", f"{local_mj:.3f}")],
+        title="energy attribution on node 1 (proxies folded)")
+    parts.append(summary)
+
+    return ExperimentResult(
+        exp_id="fig12",
+        title="Activity tracking across nodes (Bounce)",
+        text="\n\n".join(parts),
+        data={
+            "node1_bounces": app1.bounces,
+            "node4_bounces": app4.bounces,
+            "node1_received": app1.received,
+            "remote_activity_mj_on_node1": remote_mj,
+            "local_activity_mj_on_node1": local_mj,
+            "rx_bind_found": rx_bind_ns is not None,
+            "remote_radio_segment_found": tx_start_ns is not None,
+        },
+        comparisons=[
+            # The paper gives no absolute numbers for Bounce; the
+            # reproduction criterion is that remote attribution happens.
+            ("remote activity observed on node 1 (bool)", 1.0,
+             1.0 if remote_mj > 0 else 0.0),
+        ],
+    )

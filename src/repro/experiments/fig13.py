@@ -1,0 +1,170 @@
+"""Figure 13: 802.11 b/g interference on low-power listening.
+
+A mote duty-cycles its radio (500 ms channel checks) 10 cm from an 802.11b
+access point on Wi-Fi channel 6.  On 802.15.4 channel 17 (closest to the
+Wi-Fi carrier) energy from Wi-Fi bursts reads as channel activity and the
+mote stays awake for its 100 ms timeout — a false positive; on channel 26
+(43 MHz away) nothing is detected.  The paper measured, over five
+14-second windows per channel:
+
+* channel 17: 17.8 % false-positive rate, 5.58 +/- 0.005 % radio duty
+  cycle, 1.43 +/- 0.08 mW average draw;
+* channel 26: no false positives, 2.22 +/- 0.0027 % duty, 0.919 mW.
+
+We reproduce the experiment end to end and plot the cumulative metered
+energy for one window per channel (the false-positive "steps").  Note the
+paper's own quoted average powers are low relative to its duty cycles and
+61.8 mW listen power (5.58 % x 61.8 mW alone is 3.4 mW); our powers are
+self-consistent with our duty cycles, so the *ratio* between channels is
+the faithful comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.report import format_table, render_xy
+from repro.experiments.common import ExperimentResult
+from repro.hw.catalog import default_actual_profile
+from repro.tos.mac import LplConfig
+from repro.tos.network import Network
+from repro.tos.node import NodeConfig, RES_RADIO
+from repro.units import ma, seconds, to_s
+
+#: The LPL mote in the paper runs from a 3.35 V switching regulator and
+#: idles far lower than the Blink mote (its measured average power in the
+#: clean channel is below 1 mW).
+LPL_VOLTAGE = 3.35
+LPL_BASELINE_A = ma(0.05)
+
+WINDOWS = 5
+WINDOW_NS = seconds(14)
+
+
+def _lpl_profile():
+    profile = default_actual_profile()
+    profile.baseline_amps = LPL_BASELINE_A
+    return profile
+
+
+def run_channel(channel: int, seed: int = 0) -> dict:
+    """Run one LPL node on an 802.15.4 channel next to the Wi-Fi AP."""
+    from repro.apps.lpl_app import LplListenApp
+    from repro.hw.platform import PlatformConfig
+
+    network = Network(seed=seed)
+    node = network.add_node(NodeConfig(
+        node_id=1, mac="lpl", radio_channel_number=channel,
+        lpl=LplConfig(),
+        platform=PlatformConfig(voltage=LPL_VOLTAGE, profile=_lpl_profile()),
+    ))
+    network.add_wifi_interferer()
+    app = LplListenApp()
+    network.boot_all({1: app.start})
+    total_ns = WINDOWS * WINDOW_NS + seconds(1)
+    network.run(total_ns)
+
+    timeline = node.timeline()
+    intervals = timeline.power_intervals()
+    quantum = node.platform.icount.nominal_energy_per_pulse_j
+
+    # Radio duty cycle per window: fraction of time the radio sink is not
+    # in its OFF state, computed from the power-state log alone.
+    duty, power_mw = [], []
+    for w in range(WINDOWS):
+        t0 = seconds(1) + w * WINDOW_NS
+        t1 = t0 + WINDOW_NS
+        on_ns = 0
+        energy_j = 0.0
+        for interval in intervals:
+            lo = max(interval.t0_ns, t0)
+            hi = min(interval.t1_ns, t1)
+            if hi <= lo:
+                continue
+            frac = (hi - lo) / interval.dt_ns if interval.dt_ns else 0.0
+            energy_j += interval.energy_j(quantum) * frac
+            if interval.state_of(RES_RADIO) not in (0, None):
+                on_ns += hi - lo
+        duty.append(100.0 * on_ns / WINDOW_NS)
+        power_mw.append(energy_j / (WINDOW_NS * 1e-9) * 1e3)
+
+    # Cumulative energy series for the first window (the figure's curves).
+    entries = [e for e in node.entries()
+               if seconds(1) <= e.time_ns <= seconds(15)]
+    series_t = [to_s(e.time_ns - seconds(1)) for e in entries]
+    base_ic = entries[0].icount if entries else 0
+    series_e = [(e.icount - base_ic) * quantum * 1e3 for e in entries]
+
+    mean_duty = sum(duty) / len(duty)
+    std_duty = math.sqrt(
+        sum((d - mean_duty) ** 2 for d in duty) / len(duty))
+    mean_power = sum(power_mw) / len(power_mw)
+    std_power = math.sqrt(
+        sum((p - mean_power) ** 2 for p in power_mw) / len(power_mw))
+    return {
+        "channel": channel,
+        "wakeups": app.wakeups,
+        "detections": app.detections,
+        "fp_rate": app.false_positive_rate(),
+        "duty_pct": mean_duty,
+        "duty_std": std_duty,
+        "power_mw": mean_power,
+        "power_std": std_power,
+        "series": (series_t, series_e),
+        "node": node,
+    }
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    ch17 = run_channel(17, seed)
+    ch26 = run_channel(26, seed)
+
+    rows = []
+    for result in (ch17, ch26):
+        rows.append((
+            str(result["channel"]),
+            f"{result['wakeups']}",
+            f"{100 * result['fp_rate']:.1f} %",
+            f"{result['duty_pct']:.2f} +/- {result['duty_std']:.3f} %",
+            f"{result['power_mw']:.3f} +/- {result['power_std']:.3f} mW",
+        ))
+    table = format_table(
+        ("802.15.4 ch", "wakeups", "false-pos rate", "radio duty",
+         "avg power"), rows,
+        title="five 14-second windows per channel, Wi-Fi AP on 802.11 ch 6")
+
+    plot = render_xy(
+        {
+            "Channel 17": ch17["series"],
+            "Channel 26": ch26["series"],
+        },
+        width=92, height=18, x_label="time (s)", y_label="E (mJ)",
+        title="cumulative metered energy, one 14 s window "
+              "(steps = false positives)")
+
+    text = "\n\n".join([table, plot])
+    duty_ratio = (ch17["duty_pct"] / ch26["duty_pct"]
+                  if ch26["duty_pct"] else 0.0)
+    power_ratio = (ch17["power_mw"] / ch26["power_mw"]
+                   if ch26["power_mw"] else 0.0)
+    return ExperimentResult(
+        exp_id="fig13",
+        title="802.11 interference on the 802.15.4 LPL radio",
+        text=text,
+        data={
+            "ch17": {k: v for k, v in ch17.items()
+                     if k not in ("series", "node")},
+            "ch26": {k: v for k, v in ch26.items()
+                     if k not in ("series", "node")},
+            "duty_ratio": duty_ratio,
+            "power_ratio": power_ratio,
+        },
+        comparisons=[
+            ("ch17 false-positive rate (%)", 17.8, 100 * ch17["fp_rate"]),
+            ("ch26 false-positive rate (%)", 0.0, 100 * ch26["fp_rate"]),
+            ("ch17 radio duty cycle (%)", 5.58, ch17["duty_pct"]),
+            ("ch26 radio duty cycle (%)", 2.22, ch26["duty_pct"]),
+            ("duty-cycle ratio ch17/ch26", 5.58 / 2.22, duty_ratio),
+            ("power ratio ch17/ch26", 1.43 / 0.919, power_ratio),
+        ],
+    )

@@ -1,0 +1,91 @@
+"""Figure 15: the unexpected DCO-calibration timer.
+
+A simple two-activity timer application, instrumented with Quanto, showed
+``int_TIMERA1`` firing 16 times per second — the MSP430 clock subsystem
+recalibrating its digitally-controlled oscillator against the crystal,
+always on even though nothing used asynchronous serial.  We run the same
+app on a node with the calibration leak enabled, show the trace, count
+the interrupt rate, and quantify the leak by re-running with the
+calibration disabled (the fix the TinyOS developers shipped).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import render_kv, render_lanes
+from repro.experiments.common import ExperimentResult, lanes_for
+from repro.hw.platform import PlatformConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.tos.node import NodeConfig, QuantoNode, RES_CPU, RES_LED0, RES_LED2
+from repro.units import seconds, to_s
+
+LANE_IDS = {"CPU": RES_CPU, "LED0": RES_LED0, "LED2": RES_LED2}
+
+NODE_ID = 32
+DURATION_NS = seconds(2)
+
+
+def _run_leak(seed: int, dco: bool):
+    from repro.apps.timer_leak import TimerLeakApp
+
+    sim = Simulator()
+    node = QuantoNode(
+        sim,
+        NodeConfig(node_id=NODE_ID,
+                   platform=PlatformConfig(dco_calibration=dco)),
+        rng_factory=RngFactory(seed),
+    )
+    app = TimerLeakApp()
+    node.boot(app.start)
+    sim.run(until=DURATION_NS)
+    return node, app, sim
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    node, app, sim = _run_leak(seed, dco=True)
+    fixed_node, _, fixed_sim = _run_leak(seed, dco=False)
+
+    timeline = node.timeline()
+    window = (seconds(1), seconds(2))
+    lanes = render_lanes(
+        lanes_for(node, timeline, LANE_IDS, *window), *window, width=96,
+        title="one second of the trace: TimerA1 firing for DCO calibration")
+
+    fires = node.interrupts.count("int_TIMERA1")
+    rate_hz = fires / to_s(sim.now)
+
+    # Quantify the leak: CPU time under the int_TIMERA1 proxy, and the
+    # metered energy difference against the fixed build.
+    emap = node.energy_map(timeline)
+    proxy_name = node.registry.name_of(node.proxies.label("int_TIMERA1"))
+    proxy_cpu_ns = emap.time_by_activity("CPU").get(proxy_name, 0)
+    leak_energy = (node.platform.rail.energy()
+                   - fixed_node.platform.rail.energy())
+    summary = render_kv("the leak, quantified", [
+        ("int_TIMERA1 dispatches", fires),
+        ("rate", f"{rate_hz:.1f} Hz"),
+        ("CPU time under int_TIMERA1",
+         f"{proxy_cpu_ns / 1e6:.2f} ms over {to_s(sim.now):.0f} s"),
+        ("extra energy vs fixed build",
+         f"{leak_energy * 1e6:.1f} uJ over {to_s(sim.now):.0f} s"),
+        ("fixed-build int_TIMERA1 dispatches",
+         fixed_node.interrupts.count("int_TIMERA1")),
+    ])
+
+    return ExperimentResult(
+        exp_id="fig15",
+        title="Unexpected oscillator-calibration timer (node 32)",
+        text="\n\n".join([lanes, summary]),
+        data={
+            "fires": fires,
+            "rate_hz": rate_hz,
+            "proxy_cpu_ms": proxy_cpu_ns / 1e6,
+            "leak_energy_uj": leak_energy * 1e6,
+            "fixed_fires": fixed_node.interrupts.count("int_TIMERA1"),
+        },
+        comparisons=[
+            ("TimerA1 rate (Hz)", 16.0, rate_hz),
+            ("fixed-build TimerA1 rate (Hz)", 0.0,
+             fixed_node.interrupts.count("int_TIMERA1") / to_s(fixed_sim.now)),
+        ],
+    )

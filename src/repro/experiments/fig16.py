@@ -1,0 +1,112 @@
+"""Figure 16: interrupt-driven vs DMA radio SPI, timing of one TX.
+
+The radio stack can move the packet between MCU and radio chip either
+with an interrupt per two bytes (``int_UART0RX`` storm) or with one DMA
+burst (``int_DACDMA``).  The paper's trace shows the DMA transfer at
+least twice as fast — which matters for MAC fairness: a DMA node answers
+a shared event sooner and wins the medium more often.
+
+We transmit the same packet under both configurations (same seed, so the
+same backoff draw), render both timelines, and compare the FIFO-load
+phase and the total send time.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import PROXY_IDS, ActivityLabel
+from repro.core.logger import TYPE_ACT_CHANGE
+from repro.core.report import format_table, render_lanes
+from repro.experiments.common import ExperimentResult, lanes_for
+from repro.hw.platform import PlatformConfig
+from repro.tos.network import Network
+from repro.tos.node import NodeConfig, RES_CPU, RES_RADIO
+from repro.units import ms, seconds, to_ms
+
+LANE_IDS = {"CPU": RES_CPU, "Radio": RES_RADIO}
+
+
+def _run_mode(spi_mode: str, seed: int):
+    from repro.apps.dma_compare import OneShotSenderApp
+
+    network = Network(seed=seed)
+    node = network.add_node(NodeConfig(
+        node_id=1, mac="csma",
+        platform=PlatformConfig(spi_mode=spi_mode),
+    ))
+    app = OneShotSenderApp()
+    network.boot_all({1: app.start})
+    network.run(seconds(1))
+    return node, app
+
+
+def _load_phase_ns(node, app, spi_mode: str) -> int:
+    """FIFO-load duration: from the send call to the last transfer
+    interrupt (UART pair in irq mode, DMA completion in dma mode)."""
+    vector = "int_UART0RX" if spi_mode == "irq" else "int_DACDMA"
+    proxy = ActivityLabel(node.node_id, PROXY_IDS[vector]).encode()
+    last = None
+    for entry in node.entries():
+        if (entry.type == TYPE_ACT_CHANGE and entry.res_id == RES_CPU
+                and entry.value == proxy
+                and app.send_started_ns is not None
+                and entry.time_ns >= app.send_started_ns):
+            last = entry.time_ns
+    if last is None or app.send_started_ns is None:
+        return 0
+    return last - app.send_started_ns
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    node_irq, app_irq = _run_mode("irq", seed)
+    node_dma, app_dma = _run_mode("dma", seed)
+
+    parts = []
+    rows = []
+    loads = {}
+    for name, node, app in (("Normal", node_irq, app_irq),
+                            ("DMA", node_dma, app_dma)):
+        timeline = node.timeline()
+        t0 = app.send_started_ns - ms(0.5)
+        t1 = (app.send_done_ns or (app.send_started_ns + ms(20))) + ms(1)
+        parts.append(render_lanes(
+            lanes_for(node, timeline, LANE_IDS, t0, t1), t0, t1, width=96,
+            title=f"{name}: packet transmission"))
+        mode = "irq" if name == "Normal" else "dma"
+        load_ns = _load_phase_ns(node, app, mode)
+        loads[name] = load_ns
+        rows.append((
+            name,
+            f"{to_ms(load_ns):.2f}",
+            f"{to_ms(app.duration_ns or 0):.2f}",
+            str(node.platform.spi.pair_interrupts
+                if mode == "irq" else node.platform.spi.dma_transfers),
+        ))
+
+    table = format_table(
+        ("mode", "FIFO load (ms)", "send total (ms)", "SPI events"),
+        rows, title="phase timings")
+    parts.append(table)
+
+    speedup = (loads["Normal"] / loads["DMA"]) if loads.get("DMA") else 0.0
+    total_ratio = (
+        (app_irq.duration_ns or 0) / (app_dma.duration_ns or 1)
+    )
+    parts.append(f"DMA load-phase speedup: {speedup:.2f}x "
+                 f"(total send ratio {total_ratio:.2f}x)")
+
+    return ExperimentResult(
+        exp_id="fig16",
+        title="Packet TX: interrupt-driven vs DMA SPI",
+        text="\n\n".join(parts),
+        data={
+            "load_irq_ms": to_ms(loads.get("Normal", 0)),
+            "load_dma_ms": to_ms(loads.get("DMA", 0)),
+            "total_irq_ms": to_ms(app_irq.duration_ns or 0),
+            "total_dma_ms": to_ms(app_dma.duration_ns or 0),
+            "speedup": speedup,
+        },
+        comparisons=[
+            # The paper's claim: the DMA transfer is at least 2x faster.
+            ("DMA load speedup (x, paper: >=2)", 2.0, speedup),
+        ],
+    )

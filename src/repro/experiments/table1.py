@@ -1,0 +1,42 @@
+"""Table 1: the platform's energy sinks, power states, and nominal draws."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.hw.catalog import (
+    NOMINAL_CATALOG,
+    catalog_power_state_count,
+    render_table1,
+)
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    mcu_states = sum(
+        len(s.states) for s in NOMINAL_CATALOG if s.group == "Microcontroller"
+    )
+    radio_states = sum(
+        len(s.states) for s in NOMINAL_CATALOG if s.group == "Radio"
+    )
+    mcu_sinks = sum(1 for s in NOMINAL_CATALOG if s.group == "Microcontroller")
+    radio_sinks = sum(1 for s in NOMINAL_CATALOG if s.group == "Radio")
+    text = render_table1()
+    return ExperimentResult(
+        exp_id="table1",
+        title="Platform energy sinks, power states, nominal currents "
+              "(3 V, 1 MHz)",
+        text=text,
+        data={
+            "total_sinks": len(NOMINAL_CATALOG),
+            "total_states": catalog_power_state_count(),
+            "mcu_sinks": mcu_sinks,
+            "mcu_states": mcu_states,
+            "radio_sinks": radio_sinks,
+            "radio_states": radio_states,
+        },
+        comparisons=[
+            ("MCU energy sinks", 8, mcu_sinks),
+            ("MCU power states", 16, mcu_states),
+            ("radio energy sinks", 5, radio_sinks),
+            ("radio power states", 14, radio_states),
+        ],
+    )

@@ -1,0 +1,125 @@
+"""Table 3: where the joules have gone in Blink.
+
+Four sub-tables from one 48-second run:
+
+(a) time each hardware component spent on behalf of each activity;
+(b) the regression result (per-component current and power);
+(c) total energy per hardware component;
+(d) total energy per activity.
+
+The paper's numbers: LED0/1/2 on 24 s each; CPU active 0.178 % of the
+time; LED0 180.71 mJ, LED1 161.06 mJ, LED2 59.84 mJ, CPU 0.37 mJ,
+Const. 119.26 mJ, total 521.23 mJ; per-activity Red 180.78, Green 161.10,
+Blue 59.86, VTimer 0.19, int_Timer 0.04 mJ.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.experiments.common import ExperimentResult, run_blink
+from repro.units import to_mj, to_s
+
+PAPER_ENERGY_BY_HW = {
+    "LED0": 180.71, "LED1": 161.06, "LED2": 59.84, "CPU": 0.37,
+    "Const.": 119.26,
+}
+PAPER_ENERGY_BY_ACT = {
+    "1:Red": 180.78, "1:Green": 161.10, "1:Blue": 59.86,
+    "1:VTimer": 0.19, "1:int_TIMERB0": 0.04, "Const.": 119.26,
+}
+PAPER_REGRESSION_MA = {
+    "LED0": 2.51, "LED1": 2.24, "LED2": 0.83, "CPU": 1.43, "Const.": 0.83,
+}
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    node, app, sim = run_blink(seed)
+    timeline = node.timeline()
+    regression = node.regression(timeline)
+    emap = node.energy_map(timeline, regression)
+    span_s = to_s(sim.now)
+
+    # (a) time breakdown: component x activity.
+    components = ("LED0", "LED1", "LED2", "CPU")
+    activities = sorted(emap.activities())
+    rows_a = []
+    for activity in activities:
+        row = [activity]
+        for component in components:
+            dt = emap.time_ns.get((component, activity), 0)
+            row.append(f"{to_s(dt):.4f}" if dt else "0")
+        rows_a.append(tuple(row))
+    totals = ["Total"]
+    for component in components:
+        total = sum(dt for (c, _), dt in emap.time_ns.items()
+                    if c == component)
+        totals.append(f"{to_s(total):.4f}")
+    rows_a.append(tuple(totals))
+    part_a = format_table(("Activity", *components), rows_a,
+                          title="(a) time breakdown (s)")
+
+    # (b) regression.
+    rows_b = [
+        (col.name, f"{regression.current_ma(col.name):.2f}",
+         f"{regression.power_w[col.name] * 1e3:.2f}")
+        for col in regression.columns
+    ]
+    rows_b.append(("Const.", f"{regression.const_current_ma:.2f}",
+                   f"{regression.const_power_w * 1e3:.2f}"))
+    part_b = format_table(("component", "Iavg (mA)", "Pavg (mW)"), rows_b,
+                          title="(b) regression result")
+
+    # (c) energy per hardware component.
+    by_hw = emap.energy_by_component()
+    rows_c = [(name, f"{to_mj(e):.2f}") for name, e in sorted(by_hw.items())]
+    rows_c.append(("Total", f"{to_mj(emap.total_energy_j()):.2f}"))
+    part_c = format_table(("component", "E (mJ)"), rows_c,
+                          title="(c) energy per hardware component")
+
+    # (d) energy per activity.
+    by_act = emap.energy_by_activity()
+    rows_d = [(name, f"{to_mj(e):.2f}") for name, e in sorted(by_act.items())]
+    rows_d.append(("Total", f"{to_mj(emap.total_energy_j()):.2f}"))
+    part_d = format_table(("activity", "E (mJ)"), rows_d,
+                          title="(d) energy per activity")
+
+    cpu_times = emap.time_by_activity("CPU")
+    idle_name = node.registry.name_of(node.idle)
+    cpu_active_ns = sum(dt for act, dt in cpu_times.items()
+                        if act != idle_name)
+    cpu_active_pct = 100.0 * cpu_active_ns / sim.now
+
+    text = "\n\n".join([part_a, part_b, part_c, part_d,
+                        f"CPU active: {cpu_active_pct:.3f} % of "
+                        f"{span_s:.0f} s"])
+
+    comparisons = [
+        ("total energy (mJ)", 521.23, to_mj(emap.total_energy_j())),
+        ("CPU active (%)", 0.178, cpu_active_pct),
+    ]
+    for name, paper in PAPER_REGRESSION_MA.items():
+        if name == "Const.":
+            comparisons.append((f"regression {name} (mA)", paper,
+                                regression.const_current_ma))
+        elif name in regression.power_w:
+            comparisons.append((f"regression {name} (mA)", paper,
+                                regression.current_ma(name)))
+    for name, paper in PAPER_ENERGY_BY_HW.items():
+        measured = to_mj(by_hw.get(name, 0.0))
+        comparisons.append((f"E[{name}] (mJ)", paper, measured))
+    for name, paper in PAPER_ENERGY_BY_ACT.items():
+        measured = to_mj(by_act.get(name, 0.0))
+        comparisons.append((f"E[{name}] (mJ)", paper, measured))
+
+    return ExperimentResult(
+        exp_id="table3",
+        title="Where the joules have gone in Blink",
+        text=text,
+        data={
+            "energy_by_hw_mj": {k: to_mj(v) for k, v in by_hw.items()},
+            "energy_by_activity_mj": {k: to_mj(v) for k, v in by_act.items()},
+            "cpu_active_pct": cpu_active_pct,
+            "accounting_error": emap.accounting_error,
+        },
+        comparisons=comparisons,
+    )

@@ -1,0 +1,31 @@
+"""Hardware substrate: ground-truth electrical models of the HydroWatch
+platform (MSP430-class MCU, CC2420-class radio, AT45DB-class flash, SHT11-
+class sensor, LEDs, hardware timers, SPI bus).
+
+These models maintain *hidden* ground-truth current draws on a shared
+:class:`~repro.hw.power.PowerRail`.  The Quanto instrumentation never reads
+that state directly — it only sees driver-signalled power-state transitions
+and the iCount pulse counter, exactly as on real hardware.
+"""
+
+from repro.hw.power import PowerRail, SinkHandle
+from repro.hw.catalog import (
+    NOMINAL_CATALOG,
+    ActualDrawProfile,
+    PowerStateSpec,
+    SinkSpec,
+    default_actual_profile,
+)
+from repro.hw.platform import HydrowatchPlatform, PlatformConfig
+
+__all__ = [
+    "PowerRail",
+    "SinkHandle",
+    "NOMINAL_CATALOG",
+    "SinkSpec",
+    "PowerStateSpec",
+    "ActualDrawProfile",
+    "default_actual_profile",
+    "HydrowatchPlatform",
+    "PlatformConfig",
+]

@@ -1,0 +1,121 @@
+"""MCU-internal analog blocks: ADC12, DAC12, and the voltage reference.
+
+These round out the Table 1 microcontroller sinks.  The ADC needs the
+voltage reference on (its 500 uA is a separate sink, exactly as the table
+lists it); conversions take a fixed time per sample and complete with an
+interrupt callback.  The DAC draws one of three converting currents
+depending on its settling mode (Table 1's CONVERTING-2/5/7 rows).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.hw.catalog import ActualDrawProfile
+from repro.hw.power import PowerRail
+from repro.sim.engine import Simulator
+from repro.units import us
+
+#: 13-cycle conversion + sample-and-hold at ADC12CLK ~= 5 MHz.
+ADC_SAMPLE_NS = us(20)
+
+DAC_MODES = ("CONVERTING-2", "CONVERTING-5", "CONVERTING-7")
+
+
+class VoltageReference:
+    """The shared 1.5/2.5 V reference generator."""
+
+    def __init__(self, rail: PowerRail, profile: ActualDrawProfile):
+        self._sink = rail.register("VoltageReference")
+        self._amps = profile.current("VoltageReference", "ON")
+        self.is_on = False
+        self._listener: Optional[Callable[[bool], None]] = None
+
+    def set_listener(self, fn: Callable[[bool], None]) -> None:
+        self._listener = fn
+
+    def on(self) -> None:
+        if self.is_on:
+            return
+        self.is_on = True
+        self._sink.set_current(self._amps)
+        if self._listener:
+            self._listener(True)
+
+    def off(self) -> None:
+        if not self.is_on:
+            return
+        self.is_on = False
+        self._sink.off()
+        if self._listener:
+            self._listener(False)
+
+
+class Adc:
+    """ADC12: multi-sample conversions with a completion interrupt."""
+
+    def __init__(self, sim: Simulator, rail: PowerRail,
+                 profile: ActualDrawProfile, vref: VoltageReference):
+        self.sim = sim
+        self.vref = vref
+        self._sink = rail.register("ADC")
+        self._amps = profile.current("ADC", "CONVERTING")
+        self.converting = False
+        self._listener: Optional[Callable[[bool], None]] = None
+        self.conversions = 0
+
+    def set_listener(self, fn: Callable[[bool], None]) -> None:
+        self._listener = fn
+
+    def convert(self, samples: int, on_done: Callable[[list[int]], None]) -> None:
+        """Convert ``samples`` readings; interrupt with the values."""
+        if self.converting:
+            raise HardwareError("ADC already converting")
+        if samples <= 0:
+            raise HardwareError("need at least one sample")
+        if not self.vref.is_on:
+            raise HardwareError("ADC conversion without the reference on")
+        self.converting = True
+        self.conversions += 1
+        self._sink.set_current(self._amps)
+        if self._listener:
+            self._listener(True)
+
+        def done() -> None:
+            self.converting = False
+            self._sink.off()
+            if self._listener:
+                self._listener(False)
+            on_done([2048] * samples)
+
+        self.sim.after(samples * ADC_SAMPLE_NS, done)
+
+
+class Dac:
+    """DAC12: holds an output; draws per its settling mode while enabled."""
+
+    def __init__(self, rail: PowerRail, profile: ActualDrawProfile):
+        self._rail_profile = profile
+        self._sink = rail.register("DAC")
+        self.mode: Optional[str] = None
+        self._listener: Optional[Callable[[Optional[str]], None]] = None
+
+    def set_listener(self, fn: Callable[[Optional[str]], None]) -> None:
+        self._listener = fn
+
+    def enable(self, mode: str) -> None:
+        if mode not in DAC_MODES:
+            raise HardwareError(f"unknown DAC mode {mode!r}")
+        self.mode = mode
+        self._sink.set_current(self._rail_profile.current("DAC", mode))
+        if self._listener:
+            self._listener(mode)
+
+    def disable(self) -> None:
+        if self.mode is None:
+            return
+        self.mode = None
+        self._sink.off()
+        if self._listener:
+            self._listener(None)

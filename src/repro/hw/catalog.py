@@ -1,0 +1,261 @@
+"""The HydroWatch platform catalog (paper Table 1) and actual-draw profiles.
+
+Two distinct data sets live here, and keeping them distinct is the point of
+the paper:
+
+* :data:`NOMINAL_CATALOG` — the *datasheet* numbers from Table 1: every
+  energy sink, its power states, and the nominal current at 3 V / 1 MHz.
+  These are what a model-based profiler (e.g. PowerTOSSIM) would use.
+
+* :class:`ActualDrawProfile` — the draws a *particular physical node*
+  actually exhibits, which differ from the datasheet (the paper's scope
+  measurements found e.g. LED0 at 2.50 mA against a 4.3 mA nominal).  The
+  simulation drives the ground-truth rail from the actual profile; Quanto's
+  regression must recover these values from aggregate metering alone.
+
+The default actual profile is calibrated so the headline experiments land
+on the paper's measured numbers (Table 2, Table 3b, the 18.46 mA listen
+current of Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PowerModelError
+from repro.units import ma, ua
+
+
+@dataclass(frozen=True)
+class PowerStateSpec:
+    """One row of Table 1: a named power state and its nominal current."""
+
+    name: str
+    nominal_amps: float
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """An energy sink (functional unit) and its power states."""
+
+    name: str
+    group: str  # "Microcontroller", "Radio", "Flash", "LEDs"
+    states: tuple[PowerStateSpec, ...]
+
+    def state(self, name: str) -> PowerStateSpec:
+        for spec in self.states:
+            if spec.name == name:
+                return spec
+        raise PowerModelError(f"sink {self.name!r} has no state {name!r}")
+
+    def state_names(self) -> list[str]:
+        return [spec.name for spec in self.states]
+
+
+def _mcu_sinks() -> tuple[SinkSpec, ...]:
+    return (
+        SinkSpec("CPU", "Microcontroller", (
+            PowerStateSpec("ACTIVE", ua(500)),
+            PowerStateSpec("LPM0", ua(75)),
+            PowerStateSpec("LPM1", ua(75), note="assumed"),
+            PowerStateSpec("LPM2", ua(17)),
+            PowerStateSpec("LPM3", ua(2.6)),
+            PowerStateSpec("LPM4", ua(0.2)),
+        )),
+        SinkSpec("VoltageReference", "Microcontroller", (
+            PowerStateSpec("ON", ua(500)),
+        )),
+        SinkSpec("ADC", "Microcontroller", (
+            PowerStateSpec("CONVERTING", ua(800)),
+        )),
+        SinkSpec("DAC", "Microcontroller", (
+            PowerStateSpec("CONVERTING-2", ua(50)),
+            PowerStateSpec("CONVERTING-5", ua(200)),
+            PowerStateSpec("CONVERTING-7", ua(700)),
+        )),
+        SinkSpec("InternalFlash", "Microcontroller", (
+            PowerStateSpec("PROGRAM", ma(3)),
+            PowerStateSpec("ERASE", ma(3)),
+        )),
+        SinkSpec("TemperatureSensor", "Microcontroller", (
+            PowerStateSpec("SAMPLE", ua(60)),
+        )),
+        SinkSpec("AnalogComparator", "Microcontroller", (
+            PowerStateSpec("COMPARE", ua(45)),
+        )),
+        SinkSpec("SupplySupervisor", "Microcontroller", (
+            PowerStateSpec("ON", ua(15)),
+        )),
+    )
+
+
+def _radio_sinks() -> tuple[SinkSpec, ...]:
+    return (
+        SinkSpec("RadioRegulator", "Radio", (
+            PowerStateSpec("OFF", ua(1)),
+            PowerStateSpec("ON", ua(22)),
+            PowerStateSpec("POWER_DOWN", ua(20)),
+        )),
+        SinkSpec("RadioBatteryMonitor", "Radio", (
+            PowerStateSpec("ENABLED", ua(30)),
+        )),
+        SinkSpec("RadioControlPath", "Radio", (
+            PowerStateSpec("IDLE", ua(426)),
+        )),
+        SinkSpec("RadioRxPath", "Radio", (
+            PowerStateSpec("RX_LISTEN", ma(19.7)),
+        )),
+        SinkSpec("RadioTxPath", "Radio", (
+            PowerStateSpec("TX_0dBm", ma(17.4)),
+            PowerStateSpec("TX_-1dBm", ma(16.5)),
+            PowerStateSpec("TX_-3dBm", ma(15.2)),
+            PowerStateSpec("TX_-5dBm", ma(13.9)),
+            PowerStateSpec("TX_-7dBm", ma(12.5)),
+            PowerStateSpec("TX_-10dBm", ma(11.2)),
+            PowerStateSpec("TX_-15dBm", ma(9.9)),
+            PowerStateSpec("TX_-25dBm", ma(8.5)),
+        )),
+    )
+
+
+def _flash_and_led_sinks() -> tuple[SinkSpec, ...]:
+    return (
+        SinkSpec("ExternalFlash", "Flash", (
+            PowerStateSpec("POWER_DOWN", ua(9)),
+            PowerStateSpec("STANDBY", ua(25)),
+            PowerStateSpec("READ", ma(7)),
+            PowerStateSpec("WRITE", ma(12)),
+            PowerStateSpec("ERASE", ma(12)),
+        )),
+        SinkSpec("LED0", "LEDs", (PowerStateSpec("ON", ma(4.3), note="red"),)),
+        SinkSpec("LED1", "LEDs", (PowerStateSpec("ON", ma(3.7), note="green"),)),
+        SinkSpec("LED2", "LEDs", (PowerStateSpec("ON", ma(1.7), note="blue"),)),
+    )
+
+
+#: Table 1, verbatim: nominal draws at 3 V supply and 1 MHz clock.
+NOMINAL_CATALOG: tuple[SinkSpec, ...] = (
+    _mcu_sinks() + _radio_sinks() + _flash_and_led_sinks()
+)
+
+
+def catalog_sink(name: str) -> SinkSpec:
+    """Look up a sink in the nominal catalog by name."""
+    for spec in NOMINAL_CATALOG:
+        if spec.name == name:
+            return spec
+    raise PowerModelError(f"no sink named {name!r} in the catalog")
+
+
+def catalog_power_state_count() -> int:
+    """Total number of (sink, state) rows — the paper counts 16 MCU states
+    and 14 radio states among these."""
+    return sum(len(spec.states) for spec in NOMINAL_CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# Actual (per-node) draw profiles.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ActualDrawProfile:
+    """The current draws one physical node actually exhibits.
+
+    ``draws`` maps ``(sink_name, state_name)`` to amperes.  Anything not
+    present falls back to the nominal catalog value.  ``baseline_amps`` is
+    the always-on floor (regulator quiescent draw, supply supervisor, MCU
+    sleep leakage) that the paper's regressions report as the "Const."
+    term.  ``variation`` applies a deterministic per-node multiplicative
+    perturbation to every draw (device-to-device spread); 0.0 disables it.
+    """
+
+    draws: dict[tuple[str, str], float] = field(default_factory=dict)
+    baseline_amps: float = 0.0
+    variation: float = 0.0
+
+    def current(self, sink: str, state: str) -> float:
+        key = (sink, state)
+        if key in self.draws:
+            return self.draws[key]
+        return catalog_sink(sink).state(state).nominal_amps
+
+    def with_variation(self, rng) -> "ActualDrawProfile":
+        """Return a copy with every draw scaled by a per-entry factor drawn
+        uniformly from ``1 ± variation`` (seeded; deterministic)."""
+        if not self.variation:
+            return self
+        perturbed: dict[tuple[str, str], float] = {}
+        for spec in NOMINAL_CATALOG:
+            for state in spec.states:
+                base = self.current(spec.name, state.name)
+                factor = 1.0 + rng.uniform(-self.variation, self.variation)
+                perturbed[(spec.name, state.name)] = base * factor
+        baseline = self.baseline_amps * (
+            1.0 + rng.uniform(-self.variation, self.variation)
+        )
+        return ActualDrawProfile(draws=perturbed, baseline_amps=baseline,
+                                 variation=0.0)
+
+
+def default_actual_profile() -> ActualDrawProfile:
+    """The calibrated actual-draw profile used throughout the evaluation.
+
+    Values are chosen so the paper's measured numbers fall out of the
+    simulation:
+
+    * LED draws from the paper's oscilloscope regression (Table 2 / 3b):
+      LED0 2.50 mA, LED1 2.235 mA, LED2 0.83 mA — well below nominal.
+    * CPU ACTIVE adds 1.43 mA over sleep (Table 3b's CPU column).
+    * Radio listen path 18.46 mA (Section 4.3's estimate), below the
+      nominal 19.7 mA.
+    * Baseline floor 0.82 mA: the scope measured 0.74–0.79 mA in the
+      all-off state and the Blink regression reported a 0.83 mA constant.
+    """
+    draws: dict[tuple[str, str], float] = {
+        ("LED0", "ON"): ma(2.50),
+        ("LED1", "ON"): ma(2.235),
+        ("LED2", "ON"): ma(0.83),
+        ("CPU", "ACTIVE"): ma(1.43),
+        # Sleep-state residuals are part of the baseline floor; keep the
+        # per-state deltas tiny so "Const." absorbs them as in the paper.
+        ("CPU", "LPM0"): ua(75),
+        ("CPU", "LPM1"): ua(75),
+        ("CPU", "LPM2"): ua(17),
+        ("CPU", "LPM3"): ua(0.0),
+        ("CPU", "LPM4"): ua(0.0),
+        ("RadioRxPath", "RX_LISTEN"): ma(18.46),
+        ("RadioTxPath", "TX_0dBm"): ma(17.1),
+        ("RadioControlPath", "IDLE"): ua(426),
+        ("RadioRegulator", "OFF"): ua(0.0),
+        ("RadioRegulator", "ON"): ua(22),
+        ("RadioRegulator", "POWER_DOWN"): ua(20),
+        ("ExternalFlash", "POWER_DOWN"): ua(0.0),
+    }
+    return ActualDrawProfile(draws=draws, baseline_amps=ma(0.82), variation=0.0)
+
+
+def render_table1() -> str:
+    """Render the nominal catalog in the layout of the paper's Table 1."""
+    lines = []
+    lines.append(f"{'Energy Sink':<22}{'Power State':<18}{'Current':>12}")
+    lines.append("-" * 52)
+    group = None
+    for spec in NOMINAL_CATALOG:
+        if spec.group != group:
+            group = spec.group
+            lines.append(f"[{group}]")
+        first = True
+        for state in spec.states:
+            sink_col = spec.name if first else ""
+            first = False
+            amps = state.nominal_amps
+            if amps >= 1e-3:
+                current = f"{amps * 1e3:.1f} mA"
+            else:
+                current = f"{amps * 1e6:.1f} uA"
+            note = f"  ({state.note})" if state.note else ""
+            lines.append(f"{sink_col:<22}{state.name:<18}{current:>12}{note}")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""MSP430F1611-class microcontroller model.
+
+The MCU executes *jobs*: run-to-completion blocks of code with declared
+cycle costs.  A job's Python callback runs at the instant the job starts;
+cycle costs are declared by calling :meth:`Mcu.consume` (e.g. the Quanto
+logger charges 102 cycles per record), and the job occupies the CPU for the
+total declared cycles at 1 cycle/us (1 MHz clock).  Jobs queued while the
+CPU is busy start when the current job's cycles elapse; interrupt jobs
+queue ahead of task jobs, which models TinyOS's "async preempts tasks"
+semantics with a latency of at most the current job's remaining cycles.
+
+Power: the CPU sink draws its ACTIVE current while any job is running and
+its sleep-state current otherwise.  Drivers observe the ACTIVE/sleep
+transitions through :meth:`add_power_listener`, which is how the Quanto
+instrumentation exposes the CPU power state without touching ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.hw.catalog import ActualDrawProfile
+from repro.hw.power import PowerRail
+from repro.sim.engine import Simulator
+
+#: CPU sleep modes, shallowest to deepest (Table 1).
+SLEEP_STATES = ("LPM0", "LPM1", "LPM2", "LPM3", "LPM4")
+
+
+class CpuJob:
+    """One run-to-completion block: a callback plus its base cycle cost."""
+
+    __slots__ = ("fn", "base_cycles", "label", "irq")
+
+    def __init__(self, fn: Callable[[], None], base_cycles: int, label: str,
+                 irq: bool):
+        self.fn = fn
+        self.base_cycles = base_cycles
+        self.label = label
+        self.irq = irq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "irq" if self.irq else "task"
+        return f"<CpuJob {kind} {self.label!r} {self.base_cycles}cy>"
+
+
+class Mcu:
+    """The CPU: job queues, cycle accounting, and power-state transitions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rail: PowerRail,
+        profile: ActualDrawProfile,
+        cycle_ns: int = 1000,
+        sleep_state: str = "LPM3",
+    ) -> None:
+        if sleep_state not in SLEEP_STATES:
+            raise HardwareError(f"unknown sleep state {sleep_state!r}")
+        self.sim = sim
+        self.cycle_ns = int(cycle_ns)
+        self.profile = profile
+        self.sleep_state = sleep_state
+        self._sink = rail.register("CPU")
+        self._irq_jobs: deque[CpuJob] = deque()
+        self._task_jobs: deque[CpuJob] = deque()
+        self._active = False
+        self._in_job = False
+        self._pending_cycles = 0
+        self._job_start_ns = 0
+        self._power_listeners: list[Callable[[str], None]] = []
+        # Statistics for Table 4 / cost accounting.
+        self.total_active_cycles = 0
+        self.jobs_executed = 0
+        self._apply_sleep_current()
+
+    # -- power-state plumbing -------------------------------------------
+
+    def add_power_listener(self, fn: Callable[[str], None]) -> None:
+        """Subscribe to CPU power-state names ('ACTIVE', 'LPM3', ...).
+        This is the observation point the Quanto CPU driver hooks."""
+        self._power_listeners.append(fn)
+
+    def _notify_power(self, state: str) -> None:
+        for listener in self._power_listeners:
+            listener(state)
+
+    def _apply_active_current(self) -> None:
+        self._sink.set_current(self.profile.current("CPU", "ACTIVE"))
+
+    def _apply_sleep_current(self) -> None:
+        self._sink.set_current(self.profile.current("CPU", self.sleep_state))
+
+    @property
+    def active(self) -> bool:
+        """True while the CPU is executing (not sleeping)."""
+        return self._active
+
+    # -- job submission ----------------------------------------------------
+
+    def post_irq(self, fn: Callable[[], None], cycles: int = 0,
+                 label: str = "irq") -> None:
+        """Queue an interrupt-context job (runs ahead of task jobs)."""
+        self._post(CpuJob(fn, int(cycles), label, irq=True))
+
+    def post_task(self, fn: Callable[[], None], cycles: int = 0,
+                  label: str = "task") -> None:
+        """Queue a task-context job (FIFO among tasks)."""
+        self._post(CpuJob(fn, int(cycles), label, irq=False))
+
+    def _post(self, job: CpuJob) -> None:
+        if job.irq:
+            self._irq_jobs.append(job)
+        else:
+            self._task_jobs.append(job)
+        if not self._active:
+            self._wake()
+
+    def _wake(self) -> None:
+        self._active = True
+        self._apply_active_current()
+        self._notify_power("ACTIVE")
+        self.sim.call_now(self._dispatch)
+
+    # -- execution -----------------------------------------------------
+
+    def _dispatch(self) -> None:
+        if self._in_job:
+            return
+        job = self._next_job()
+        if job is None:
+            self._go_to_sleep()
+            return
+        self._in_job = True
+        self._pending_cycles = job.base_cycles
+        self._job_start_ns = self.sim.now
+        self.jobs_executed += 1
+        try:
+            job.fn()
+        finally:
+            cycles = self._pending_cycles
+            self._pending_cycles = 0
+            self._in_job = False
+            self.total_active_cycles += cycles
+            self.sim.after(cycles * self.cycle_ns, self._dispatch)
+
+    def _next_job(self) -> Optional[CpuJob]:
+        if self._irq_jobs:
+            return self._irq_jobs.popleft()
+        if self._task_jobs:
+            return self._task_jobs.popleft()
+        return None
+
+    def _go_to_sleep(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        self._apply_sleep_current()
+        self._notify_power(self.sleep_state)
+
+    # -- cycle accounting ----------------------------------------------
+
+    def consume(self, cycles: int) -> None:
+        """Charge extra cycles to the currently executing job.
+
+        Called from inside a job callback (the Quanto logger does this for
+        every record).  Calling it outside a job is an error: cycle costs
+        must always be attributable to a job.
+        """
+        if not self._in_job:
+            raise HardwareError("Mcu.consume() called outside a job")
+        if cycles < 0:
+            raise HardwareError(f"negative cycle cost: {cycles}")
+        self._pending_cycles += int(cycles)
+
+    def idle(self) -> bool:
+        """True when no jobs are queued or running."""
+        return not (self._in_job or self._irq_jobs or self._task_jobs)
+
+    def jobs_pending(self) -> int:
+        """Queued (not yet started) jobs — used by the instrumentation to
+        decide whether the CPU is about to sleep."""
+        return len(self._irq_jobs) + len(self._task_jobs)
+
+    def virtual_now(self) -> int:
+        """Cycle-advanced time within the current job.
+
+        A job's Python callback executes at the job's start instant, but
+        the cycles it declares occupy real time.  Instrumentation (the
+        Quanto logger in particular) timestamps events with this virtual
+        clock so consecutive records within one job carry strictly
+        increasing times, exactly as a real CPU reading its timer
+        mid-execution would see.  Outside a job this is just ``sim.now``.
+        """
+        if not self._in_job:
+            return self.sim.now
+        return self._job_start_ns + self._pending_cycles * self.cycle_ns
+
+    @property
+    def total_active_time_ns(self) -> int:
+        """Total CPU-active time implied by executed cycles."""
+        return self.total_active_cycles * self.cycle_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "ACTIVE" if self._active else self.sleep_state
+        return (
+            f"<Mcu {state} irq={len(self._irq_jobs)} "
+            f"tasks={len(self._task_jobs)}>"
+        )

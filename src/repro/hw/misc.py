@@ -1,0 +1,126 @@
+"""Remaining Table 1 microcontroller sinks: internal flash controller,
+internal temperature sensor, analog comparator, and the supply supervisor.
+
+These are small but real: the supply supervisor's 15 uA is part of every
+node's always-on floor, and internal-flash program/erase shows up whenever
+a deployment writes configuration to the MCU's own flash.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import HardwareError
+from repro.hw.catalog import ActualDrawProfile
+from repro.hw.power import PowerRail
+from repro.sim.engine import Simulator
+from repro.units import ms, us
+
+#: MSP430 flash: ~ 17 ms segment erase, ~75 us per word program.
+SEGMENT_ERASE_NS = ms(17)
+WORD_PROGRAM_NS = us(75)
+
+
+class InternalFlash:
+    """The MCU's own flash controller (PROGRAM / ERASE draws)."""
+
+    def __init__(self, sim: Simulator, rail: PowerRail,
+                 profile: ActualDrawProfile):
+        self.sim = sim
+        self.profile = profile
+        self._sink = rail.register("InternalFlash")
+        self.busy = False
+        self._listener: Optional[Callable[[str], None]] = None
+
+    def set_listener(self, fn: Callable[[str], None]) -> None:
+        self._listener = fn
+
+    def _begin(self, state: str) -> None:
+        self.busy = True
+        self._sink.set_current(self.profile.current("InternalFlash", state))
+        if self._listener:
+            self._listener(state)
+
+    def _end(self) -> None:
+        self.busy = False
+        self._sink.off()
+        if self._listener:
+            self._listener("IDLE")
+
+    def program_words(self, count: int, on_done: Callable[[], None]) -> None:
+        if self.busy:
+            raise HardwareError("internal flash busy")
+        if count <= 0:
+            raise HardwareError("need at least one word")
+        self._begin("PROGRAM")
+
+        def done() -> None:
+            self._end()
+            on_done()
+
+        self.sim.after(count * WORD_PROGRAM_NS, done)
+
+    def erase_segment(self, on_done: Callable[[], None]) -> None:
+        if self.busy:
+            raise HardwareError("internal flash busy")
+        self._begin("ERASE")
+
+        def done() -> None:
+            self._end()
+            on_done()
+
+        self.sim.after(SEGMENT_ERASE_NS, done)
+
+
+class InternalTempSensor:
+    """The MCU-internal temperature sensor (sampled through the ADC)."""
+
+    def __init__(self, rail: PowerRail, profile: ActualDrawProfile):
+        self._sink = rail.register("TemperatureSensor")
+        self._amps = profile.current("TemperatureSensor", "SAMPLE")
+        self.sampling = False
+
+    def start_sample(self) -> None:
+        self.sampling = True
+        self._sink.set_current(self._amps)
+
+    def stop_sample(self) -> None:
+        self.sampling = False
+        self._sink.off()
+
+
+class AnalogComparator:
+    """Comparator_A: draws while enabled."""
+
+    def __init__(self, rail: PowerRail, profile: ActualDrawProfile):
+        self._sink = rail.register("AnalogComparator")
+        self._amps = profile.current("AnalogComparator", "COMPARE")
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+        self._sink.set_current(self._amps)
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._sink.off()
+
+
+class SupplySupervisor:
+    """SVS: on by default on this platform; part of the constant floor."""
+
+    def __init__(self, rail: PowerRail, profile: ActualDrawProfile,
+                 enabled: bool = True):
+        self._sink = rail.register("SupplySupervisor")
+        self._amps = profile.current("SupplySupervisor", "ON")
+        self.enabled = False
+        if enabled:
+            self.enable()
+
+    def enable(self) -> None:
+        self.enabled = True
+        self._sink.set_current(self._amps)
+
+    def disable(self) -> None:
+        self.enabled = False
+        self._sink.off()

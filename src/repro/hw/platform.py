@@ -1,0 +1,128 @@
+"""The HydroWatch platform: one node's worth of hardware, assembled.
+
+A :class:`HydrowatchPlatform` owns the power rail, the MCU, both timer
+blocks, the clock system, the LED bank, the SPI bus, the radio, the
+external flash, the SHT11 sensor, the analog blocks, and the iCount meter.
+The OS layer (:mod:`repro.tos`) builds on exactly this surface; nothing in
+the platform knows about Quanto.
+
+``PlatformConfig`` centralizes every knob the experiments turn: supply
+voltage, actual-draw profile, device variation, meter error, scope noise,
+the DCO-calibration leak, and the SPI transfer mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.adc import Adc, Dac, VoltageReference
+from repro.hw.catalog import ActualDrawProfile, default_actual_profile
+from repro.hw.clock import ClockSystem
+from repro.hw.flash import ExternalFlash
+from repro.hw.hwtimer import TimerBlock
+from repro.hw.leds import LedBank
+from repro.hw.mcu import Mcu
+from repro.hw.misc import (
+    AnalogComparator,
+    InternalFlash,
+    InternalTempSensor,
+    SupplySupervisor,
+)
+from repro.hw.power import PowerRail
+from repro.hw.radio import Radio
+from repro.hw.sensor import Sht11Sensor
+from repro.hw.spi import SpiBus
+from repro.meter.icount import ICountMeter
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+
+
+@dataclass
+class PlatformConfig:
+    """Per-node hardware configuration."""
+
+    node_id: int = 1
+    voltage: float = 3.0
+    profile: Optional[ActualDrawProfile] = None
+    sleep_state: str = "LPM3"
+    dco_calibration: bool = False
+    spi_mode: str = "irq"  # 'irq' or 'dma'
+    icount_gain_error: float = 0.0
+    icount_jitter_pulses: float = 0.0
+    device_variation: float = 0.0
+    supervisor_enabled: bool = False  # its draw is folded into the baseline
+
+    def resolved_profile(self, rng_factory: RngFactory,
+                         node_id: int) -> ActualDrawProfile:
+        profile = self.profile if self.profile is not None else default_actual_profile()
+        if self.device_variation:
+            profile = ActualDrawProfile(
+                draws=dict(profile.draws),
+                baseline_amps=profile.baseline_amps,
+                variation=self.device_variation,
+            )
+            profile = profile.with_variation(
+                rng_factory.stream(f"node{node_id}.variation")
+            )
+        return profile
+
+
+class HydrowatchPlatform:
+    """All the hardware of one node, wired to a shared simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[PlatformConfig] = None,
+        rng_factory: Optional[RngFactory] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or PlatformConfig()
+        self.rng = rng_factory or RngFactory(0)
+        node_id = self.config.node_id
+        self.profile = self.config.resolved_profile(self.rng, node_id)
+
+        self.rail = PowerRail(sim, voltage=self.config.voltage)
+        # The always-on floor (regulator quiescent draw, sleep leakage,
+        # supervisor): the regressions report this as the "Const." column.
+        self._baseline = self.rail.register("Baseline")
+        self._baseline.set_current(self.profile.baseline_amps)
+
+        self.mcu = Mcu(
+            sim, self.rail, self.profile, sleep_state=self.config.sleep_state
+        )
+        self.timer_a = TimerBlock(sim, "TIMERA", 3)
+        self.timer_b = TimerBlock(sim, "TIMERB", 7)
+        self.clock = ClockSystem(
+            sim, self.timer_a, dco_calibration=self.config.dco_calibration
+        )
+        self.leds = LedBank(self.rail, self.profile)
+        self.spi = SpiBus(sim)
+        self.radio = Radio(sim, self.rail, self.profile, node_id)
+        self.flash = ExternalFlash(sim, self.rail, self.profile)
+        self.sensor = Sht11Sensor(
+            sim, self.rail, rng=self.rng.stream(f"node{node_id}.sht11")
+        )
+        self.vref = VoltageReference(self.rail, self.profile)
+        self.adc = Adc(sim, self.rail, self.profile, self.vref)
+        self.dac = Dac(self.rail, self.profile)
+        self.internal_flash = InternalFlash(sim, self.rail, self.profile)
+        self.internal_temp = InternalTempSensor(self.rail, self.profile)
+        self.comparator = AnalogComparator(self.rail, self.profile)
+        self.supervisor = SupplySupervisor(
+            self.rail, self.profile, enabled=self.config.supervisor_enabled
+        )
+        self.icount = ICountMeter(
+            self.rail,
+            gain_error=self.config.icount_gain_error,
+            jitter_pulses=self.config.icount_jitter_pulses,
+            rng=self.rng.stream(f"node{node_id}.icount"),
+        )
+
+    @property
+    def node_id(self) -> int:
+        return self.config.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HydrowatchPlatform node={self.node_id}>"

@@ -1,0 +1,7 @@
+"""Energy metering: the iCount switching-regulator meter (what Quanto reads
+at runtime) and a virtual oscilloscope (ground truth for calibration)."""
+
+from repro.meter.icount import ICountMeter
+from repro.meter.oscilloscope import Oscilloscope, ScopeTrace
+
+__all__ = ["ICountMeter", "Oscilloscope", "ScopeTrace"]

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately tiny: a priority queue of timestamped callbacks
+with deterministic FIFO tie-breaking, plus seeded per-component random
+streams.  Everything else in the library (hardware models, the OS layer,
+the radio channel) is built as callbacks on this engine.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngFactory
+
+__all__ = ["Event", "Simulator", "RngFactory"]

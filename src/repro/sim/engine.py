@@ -1,0 +1,151 @@
+"""The discrete-event engine.
+
+Time is an integer count of nanoseconds.  Events scheduled for the same
+timestamp run in the order they were scheduled (FIFO), which makes runs
+bit-for-bit reproducible.  An event can be cancelled; cancellation is lazy
+(the heap entry is flagged dead and skipped when popped).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.at` /
+    :meth:`Simulator.after`; keep it if you may need to cancel."""
+
+    __slots__ = ("time", "seq", "fn", "args", "alive")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.alive = True
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when its time comes."""
+        self.alive = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "cancelled"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} {name} {state}>"
+
+
+class Simulator:
+    """Event queue plus the simulation clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.after(units.ms(10), callback, arg1)
+        sim.run(until=units.seconds(48))
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: list[Event] = []
+        self._running = False
+        self._events_executed = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in integer nanoseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of event callbacks executed so far (for diagnostics)."""
+        return self._events_executed
+
+    # -- scheduling ----------------------------------------------------
+
+    def at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time_ns} ns, already at "
+                f"t={self._now} ns"
+            )
+        event = Event(int(time_ns), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at ``now + delay_ns``."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns} ns")
+        return self.at(self._now + int(delay_ns), fn, *args)
+
+    def call_now(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time, after events already
+        queued for this instant (a 'soon' hook, used for deferred signals)."""
+        return self.at(self._now, fn, *args)
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next live event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.alive:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order.
+
+        ``until`` — stop once the next event lies beyond this time and set
+        the clock to exactly ``until`` (so integrators can flush to the end
+        of the window).  ``max_events`` — safety valve for runaway loops.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if not event.alive:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                self._events_executed += 1
+                event.fn(*event.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now} ns"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for event in self._queue if event.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now} ns, {self.pending()} pending>"

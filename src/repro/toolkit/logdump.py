@@ -1,0 +1,107 @@
+"""Human-readable and CSV views of a Quanto log.
+
+``dump_log`` renders decoded entries one per line with resolved resource
+and activity names — the first thing you reach for when a trace looks
+wrong.  The CSV exporters feed external tooling (spreadsheets, gnuplot,
+pandas) with both the raw event stream and the reconstructed
+constant-power intervals.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.core.labels import ActivityLabel, ActivityRegistry
+from repro.core.logger import (
+    LogEntry,
+    TYPE_ACT_ADD,
+    TYPE_ACT_BIND,
+    TYPE_ACT_CHANGE,
+    TYPE_ACT_REMOVE,
+    TYPE_BOOT,
+    TYPE_POWERSTATE,
+)
+from repro.core.timeline import PowerInterval
+
+_ACTIVITY_TYPES = (TYPE_ACT_CHANGE, TYPE_ACT_BIND, TYPE_ACT_ADD,
+                   TYPE_ACT_REMOVE)
+
+
+def dump_log(
+    entries: list[LogEntry],
+    registry: Optional[ActivityRegistry] = None,
+    component_names: Optional[dict[int, str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render entries like::
+
+        [   12]     8000123 us  ic=  962301  powerstate  LED0 -> 1
+        [   13]     8000225 us  ic=  962301  act_change  CPU  -> 1:Red
+    """
+    names = component_names or {}
+    lines = []
+    for entry in entries[:limit] if limit else entries:
+        resource = names.get(entry.res_id, f"res{entry.res_id}")
+        if entry.type in _ACTIVITY_TYPES:
+            label = ActivityLabel.decode(entry.value)
+            value = registry.name_of(label) if registry else str(label)
+        else:
+            value = str(entry.value)
+        lines.append(
+            f"[{entry.seq:>6}] {entry.time_us:>12} us  "
+            f"ic={entry.icount:>10}  {entry.type_name:<11} "
+            f"{resource:<8} -> {value}"
+        )
+    if limit and len(entries) > limit:
+        lines.append(f"... {len(entries) - limit} more entries")
+    return "\n".join(lines)
+
+
+def export_log_csv(
+    entries: list[LogEntry],
+    registry: Optional[ActivityRegistry] = None,
+    component_names: Optional[dict[int, str]] = None,
+) -> str:
+    """The raw event stream as CSV (one row per entry)."""
+    names = component_names or {}
+    out = io.StringIO()
+    out.write("seq,time_us,icount,type,resource,value,value_name\n")
+    for entry in entries:
+        resource = names.get(entry.res_id, f"res{entry.res_id}")
+        if entry.type in _ACTIVITY_TYPES and registry is not None:
+            value_name = registry.name_of(ActivityLabel.decode(entry.value))
+        else:
+            value_name = ""
+        out.write(
+            f"{entry.seq},{entry.time_us},{entry.icount},"
+            f"{entry.type_name},{resource},{entry.value},{value_name}\n"
+        )
+    return out.getvalue()
+
+
+def export_intervals_csv(
+    intervals: list[PowerInterval],
+    energy_per_pulse_j: float,
+    component_names: Optional[dict[int, str]] = None,
+) -> str:
+    """The reconstructed constant-power intervals as CSV: one row per
+    interval with dt, energy, mean power, and the full state vector."""
+    names = component_names or {}
+    res_ids = sorted({rid for iv in intervals for rid, _ in iv.states})
+    header_states = ",".join(
+        names.get(rid, f"res{rid}") for rid in res_ids)
+    out = io.StringIO()
+    out.write(f"t0_us,t1_us,dt_us,pulses,energy_uj,power_mw,{header_states}\n")
+    for interval in intervals:
+        energy = interval.energy_j(energy_per_pulse_j)
+        power_mw = (energy / (interval.dt_ns * 1e-9) * 1e3
+                    if interval.dt_ns else 0.0)
+        states = dict(interval.states)
+        row_states = ",".join(str(states.get(rid, "")) for rid in res_ids)
+        out.write(
+            f"{interval.t0_ns // 1000},{interval.t1_ns // 1000},"
+            f"{interval.dt_ns // 1000},{interval.pulses},"
+            f"{energy * 1e6:.2f},{power_mw:.4f},{row_states}\n"
+        )
+    return out.getvalue()

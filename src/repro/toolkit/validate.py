@@ -1,0 +1,137 @@
+"""A lint pass over decoded Quanto logs.
+
+Catches the structural problems that silently poison offline analysis:
+non-monotone timestamps or meter readings (decoder wrap bugs, clock
+resets), missing boot snapshots (unknown initial power-state vector),
+redundant records (idempotence violations in a driver), and proxy
+activity usage that never got bound to a real activity (either a genuine
+false positive — interesting! — or missing instrumentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.labels import ActivityLabel
+from repro.core.logger import (
+    LogEntry,
+    TYPE_ACT_BIND,
+    TYPE_ACT_CHANGE,
+    TYPE_BOOT,
+    TYPE_POWERSTATE,
+)
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+
+@dataclass(frozen=True)
+class LogIssue:
+    """One finding."""
+
+    severity: str
+    code: str
+    message: str
+    seq: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" @seq {self.seq}" if self.seq is not None else ""
+        return f"[{self.severity}] {self.code}{where}: {self.message}"
+
+
+def validate_log(entries: list[LogEntry]) -> list[LogIssue]:
+    """Run all checks; returns findings (empty = clean)."""
+    issues: list[LogIssue] = []
+    if not entries:
+        issues.append(LogIssue(SEVERITY_ERROR, "empty-log",
+                               "no entries to analyze"))
+        return issues
+    issues.extend(_check_monotonicity(entries))
+    issues.extend(_check_boot_snapshot(entries))
+    issues.extend(_check_redundant_powerstates(entries))
+    issues.extend(_check_unbound_proxies(entries))
+    return issues
+
+
+def _check_monotonicity(entries: list[LogEntry]) -> list[LogIssue]:
+    issues = []
+    for prev, entry in zip(entries, entries[1:]):
+        if entry.time_us < prev.time_us:
+            issues.append(LogIssue(
+                SEVERITY_ERROR, "time-regression",
+                f"timestamp went backwards: {prev.time_us} -> "
+                f"{entry.time_us}", entry.seq))
+        if entry.icount < prev.icount:
+            issues.append(LogIssue(
+                SEVERITY_ERROR, "meter-regression",
+                f"iCount went backwards: {prev.icount} -> {entry.icount}",
+                entry.seq))
+    return issues
+
+
+def _check_boot_snapshot(entries: list[LogEntry]) -> list[LogIssue]:
+    """Power-state sinks should announce an initial value before their
+    first transition, or intervals start from guessed state."""
+    issues = []
+    booted: set[int] = set()
+    for entry in entries:
+        if entry.type == TYPE_BOOT:
+            booted.add(entry.res_id)
+        elif entry.type == TYPE_POWERSTATE and entry.res_id not in booted:
+            issues.append(LogIssue(
+                SEVERITY_WARNING, "no-boot-snapshot",
+                f"res {entry.res_id} changes power state without a boot "
+                f"record; its initial state is unknown", entry.seq))
+            booted.add(entry.res_id)  # report once per resource
+    return issues
+
+
+def _check_redundant_powerstates(entries: list[LogEntry]) -> list[LogIssue]:
+    """The PowerState interface is idempotent; a repeated value in the
+    log means a driver bypassed it."""
+    issues = []
+    last: dict[int, int] = {}
+    for entry in entries:
+        if entry.type != TYPE_POWERSTATE:
+            continue
+        if last.get(entry.res_id) == entry.value:
+            issues.append(LogIssue(
+                SEVERITY_WARNING, "redundant-powerstate",
+                f"res {entry.res_id} re-recorded state {entry.value}",
+                entry.seq))
+        last[entry.res_id] = entry.value
+    return issues
+
+
+def _check_unbound_proxies(entries: list[LogEntry]) -> list[LogIssue]:
+    """Proxy activity spans that never resolve: either real false
+    positives (LPL energy detects with no packet) or instrumentation
+    that forgot to bind."""
+    issues = []
+    # Track, per device, proxy labels that appeared and whether any bind
+    # ever resolved them.
+    appeared: dict[tuple[int, int], int] = {}  # (res, label) -> count
+    bound: set[tuple[int, int]] = set()
+    current: dict[int, Optional[ActivityLabel]] = {}
+    for entry in entries:
+        if entry.type not in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
+            continue
+        label = ActivityLabel.decode(entry.value)
+        previous = current.get(entry.res_id)
+        if entry.type == TYPE_ACT_BIND and previous is not None \
+                and previous.is_proxy:
+            bound.add((entry.res_id, previous.encode()))
+        if label.is_proxy:
+            key = (entry.res_id, label.encode())
+            appeared[key] = appeared.get(key, 0) + 1
+        current[entry.res_id] = label
+    for (res_id, encoded), count in sorted(appeared.items()):
+        if (res_id, encoded) not in bound:
+            label = ActivityLabel.decode(encoded)
+            issues.append(LogIssue(
+                SEVERITY_INFO, "unbound-proxy",
+                f"proxy {label} on res {res_id} appeared {count}x and was "
+                f"never bound to a real activity"))
+    return issues

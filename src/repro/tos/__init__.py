@@ -1,0 +1,28 @@
+"""A TinyOS-like operating system layer, instrumented for Quanto.
+
+The abstractions the paper modified (its Table 5) all exist here with the
+same semantics and the same instrumentation points:
+
+* **Tasks** (:mod:`repro.tos.scheduler`) — run-to-completion, FIFO; the
+  scheduler saves the CPU activity at post time and restores it at run.
+* **Timers** (:mod:`repro.tos.vtimer`) — virtual timers multiplexed on one
+  hardware compare unit; each timer saves and restores its activity.
+* **Arbiters** (:mod:`repro.tos.arbiter`) — shared-resource locks that
+  transfer activity labels to the granted resource automatically.
+* **Interrupts** (:mod:`repro.tos.interrupts`) — every vector has a static
+  proxy activity; handlers run under it until bound to a real activity.
+* **Active Messages** (:mod:`repro.tos.am`) — the link layer, with the
+  hidden 16-bit activity field in every packet.
+* **Device drivers** (:mod:`repro.tos.drivers`) — expose hardware power
+  states via the PowerState interface and transfer activity labels between
+  the CPU and the devices they manage.
+
+:mod:`repro.tos.node` assembles a platform, the Quanto core, and these
+services into a bootable node; :mod:`repro.tos.network` wires several
+nodes to one channel.
+"""
+
+from repro.tos.node import NodeConfig, QuantoNode
+from repro.tos.network import Network
+
+__all__ = ["QuantoNode", "NodeConfig", "Network"]

@@ -1,0 +1,91 @@
+"""Resource arbiters (Klues et al., SOSP'07), instrumented for Quanto.
+
+An arbiter serializes access to a shared resource (the SPI bus, the sensor
+bus).  Quanto's instrumentation (paper §3.3, Table 5 "Arbiter"):
+**activity labels transfer to and from the managed device automatically**
+— when a client is granted the resource, the resource's activity device is
+painted with the activity the client carried at request time; on release
+it reverts to idle.
+
+Grants are delivered in task context (as in TinyOS), so a queued client's
+grant callback runs under the activity it held when it requested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.activity import SingleActivityDevice
+from repro.core.labels import ActivityLabel
+from repro.errors import SimulationError
+from repro.tos.scheduler import Scheduler
+
+#: Cycles for queue management per request/release.
+ARBITER_CYCLES = 9
+
+
+class Arbiter:
+    """A FIFO arbiter over one shared resource."""
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: Scheduler,
+        resource_activity: Optional[SingleActivityDevice] = None,
+        idle_label: Optional[ActivityLabel] = None,
+    ) -> None:
+        self.name = name
+        self.scheduler = scheduler
+        self.resource_activity = resource_activity
+        self.idle_label = idle_label
+        self._owner: Optional[str] = None
+        self._queue: deque[tuple[str, Callable[[], None], ActivityLabel]] = \
+            deque()
+        self.grants = 0
+
+    @property
+    def owner(self) -> Optional[str]:
+        return self._owner
+
+    def request(self, client: str, on_granted: Callable[[], None]) -> None:
+        """Request the resource; ``on_granted`` runs (in task context,
+        under the requester's activity) when it is this client's turn."""
+        activity = self.scheduler.cpu_activity.get()
+        if self.scheduler.mcu._in_job:
+            self.scheduler.mcu.consume(ARBITER_CYCLES)
+        self._queue.append((client, on_granted, activity))
+        if self._owner is None:
+            self._grant_next()
+
+    def release(self, client: str) -> None:
+        """Release the resource; the next queued client is granted."""
+        if self._owner != client:
+            raise SimulationError(
+                f"arbiter {self.name}: {client!r} released but owner is "
+                f"{self._owner!r}"
+            )
+        if self.scheduler.mcu._in_job:
+            self.scheduler.mcu.consume(ARBITER_CYCLES)
+        self._owner = None
+        if self.resource_activity is not None and self.idle_label is not None:
+            self.resource_activity.set(self.idle_label)
+        if self._queue:
+            self._grant_next()
+
+    def _grant_next(self) -> None:
+        client, on_granted, activity = self._queue.popleft()
+        self._owner = client
+        self.grants += 1
+
+        def granted() -> None:
+            # Automatic label transfer: the resource now works on behalf
+            # of the granted client's activity.
+            if self.resource_activity is not None:
+                self.resource_activity.set(activity)
+            on_granted()
+
+        self.scheduler.post_function(
+            granted, cycles=ARBITER_CYCLES,
+            label=f"arbiter:{self.name}", activity=activity,
+        )

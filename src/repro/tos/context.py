@@ -1,0 +1,64 @@
+"""CPU job instrumentation shared by the scheduler and interrupt layer.
+
+Every job that runs on the MCU — task or interrupt handler — is wrapped so
+that:
+
+* the CPU power-state variable is set to ACTIVE when the job begins (the
+  first job after a sleep records the wake transition; subsequent sets are
+  idempotent and free);
+* if the job leaves the run queues empty, the CPU activity is reset to the
+  idle activity and the power-state variable records the sleep transition
+  (this is the McuSleep path in real TinyOS — code that runs on the CPU on
+  the way into sleep).
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import SingleActivityDevice
+from repro.core.labels import ActivityLabel
+from repro.core.powerstate import PowerStateVar
+from repro.hw.mcu import Mcu
+
+#: CPU power-state variable values.
+CPU_PS_SLEEP = 0
+CPU_PS_ACTIVE = 1
+
+#: Cycles for the wrapper itself (interrupt entry/exit, context push/pop).
+WRAPPER_CYCLES = 12
+
+
+class CpuContext:
+    """Binds the MCU to its Quanto CPU instrumentation."""
+
+    def __init__(
+        self,
+        mcu: Mcu,
+        cpu_activity: SingleActivityDevice,
+        cpu_powerstate: PowerStateVar,
+        idle_label: ActivityLabel,
+    ) -> None:
+        self.mcu = mcu
+        self.cpu_activity = cpu_activity
+        self.cpu_powerstate = cpu_powerstate
+        self.idle_label = idle_label
+
+    def prologue(self) -> None:
+        """Run at the top of every job: record the wake if there was one."""
+        self.mcu.consume(WRAPPER_CYCLES)
+        self.cpu_powerstate.set(CPU_PS_ACTIVE)
+
+    def epilogue(self) -> None:
+        """Run at the end of every job: if nothing else is queued, the CPU
+        is about to sleep — reset the activity and record the transition."""
+        if self.mcu.jobs_pending() == 0:
+            self.cpu_activity.set(self.idle_label)
+            self.cpu_powerstate.set(CPU_PS_SLEEP)
+
+    def run_wrapped(self, body) -> None:
+        """Execute ``body`` between prologue and epilogue (exception-safe:
+        a crashing job still records the sleep transition)."""
+        self.prologue()
+        try:
+            body()
+        finally:
+            self.epilogue()

@@ -1,0 +1,18 @@
+"""Instrumented device drivers.
+
+Each driver does the two things the paper asks of device drivers:
+
+1. expose the hardware's power states through the PowerState interface
+   (including *shadowed* states the CPU does not control directly, like
+   the flash ready/busy handshake);
+2. transfer activity labels between the CPU and the device it manages,
+   storing the label across split-phase operations so completion
+   interrupts can bind their proxy activity to the right owner.
+"""
+
+from repro.tos.drivers.leds import LedsDriver
+from repro.tos.drivers.radio import RadioDriver
+from repro.tos.drivers.flash import FlashDriver
+from repro.tos.drivers.sensor import SensorDriver
+
+__all__ = ["LedsDriver", "RadioDriver", "FlashDriver", "SensorDriver"]

@@ -1,0 +1,198 @@
+"""The external-flash driver: the paper's shadowed-power-state example.
+
+Flash power states change outside direct CPU control (Section 2.4's
+walk-through): the chip goes busy when an operation starts and signals
+ready by a handshake line.  The driver *shadows* those transitions into
+the power-state variable from the ready-line events, and stores the
+requesting activity so the completion interrupt can bind its proxy to it.
+
+Access is serialized through an arbiter (the shared bus), which also
+transfers activity labels to the flash automatically on grant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.activity import ProxyActivitySet, SingleActivityDevice
+from repro.core.labels import ActivityLabel
+from repro.core.powerstate import PowerStateVar
+from repro.hw.flash import ExternalFlash
+from repro.hw.mcu import Mcu
+from repro.tos.arbiter import Arbiter
+from repro.tos.interrupts import InterruptController
+from repro.tos.scheduler import Scheduler
+
+# Power-state variable values (match hw state order).
+PS_POWER_DOWN = 0
+PS_STANDBY = 1
+PS_READ = 2
+PS_WRITE = 3
+PS_ERASE = 4
+
+FLASH_STATE_NAMES = {
+    PS_POWER_DOWN: "POWER_DOWN", PS_STANDBY: "STANDBY",
+    PS_READ: "READ", PS_WRITE: "WRITE", PS_ERASE: "ERASE",
+}
+
+_STATE_TO_PS = {
+    "POWER_DOWN": PS_POWER_DOWN,
+    "STANDBY": PS_STANDBY,
+    "READ": PS_READ,
+    "WRITE": PS_WRITE,
+    "ERASE": PS_ERASE,
+}
+
+COMMAND_CYCLES = 35
+READY_CYCLES = 18
+
+
+class FlashDriver:
+    """Split-phase read/write/erase with shadowed power states."""
+
+    def __init__(
+        self,
+        mcu: Mcu,
+        scheduler: Scheduler,
+        interrupts: InterruptController,
+        arbiter: Arbiter,
+        flash: ExternalFlash,
+        powerstate: PowerStateVar,
+        flash_activity: SingleActivityDevice,
+        cpu_activity: SingleActivityDevice,
+        proxies: ProxyActivitySet,
+        idle_label: ActivityLabel,
+    ) -> None:
+        self.mcu = mcu
+        self.scheduler = scheduler
+        self.arbiter = arbiter
+        self.flash = flash
+        self.powerstate = powerstate
+        self.flash_activity = flash_activity
+        self.cpu_activity = cpu_activity
+        self.idle_label = idle_label
+        self._op_activity: Optional[ActivityLabel] = None
+        self._op_done: Optional[Callable] = None
+        self._after_wake: Optional[Callable[[], None]] = None
+        self.operations = 0
+        self._last_hw_state = flash.state
+        self._ready_irq = interrupts.wire(
+            "int_FLASH", self._ready, body_cycles=READY_CYCLES)
+        # Shadow the handshake: every hardware transition updates the
+        # power-state variable from the (interrupt-context) observer.
+        flash.set_ready_listener(self._shadow_state)
+        self._pending_result = None
+
+    def _shadow_state(self, state: str, busy: bool) -> None:
+        """Hardware moved; remember it so the next CPU-context touchpoint
+        records the shadowed state.  Ready-line edges (busy falling while
+        an operation is in flight) raise the interrupt through which the
+        state becomes visible to Quanto."""
+        self._last_hw_state = state
+        if not busy and (self._op_done is not None
+                         or self._after_wake is not None):
+            self._ready_irq()
+
+    # -- operations ----------------------------------------------------------
+
+    def write(self, page: int, data: bytes,
+              on_done: Callable[[], None]) -> None:
+        """Arbitrate, wake if needed, program a page, signal completion."""
+        activity = self.cpu_activity.get()
+
+        def granted() -> None:
+            self._begin_op(activity, on_done)
+            self._start_or_wake(lambda: self._do_write(page, data))
+
+        self.arbiter.request(f"flash-write-{page}", granted)
+
+    def _start_or_wake(self, operation: Callable[[], None]) -> None:
+        """Run the operation now, or after the wake-up ready interrupt if
+        the chip is in deep power-down."""
+        if self.flash.state == "POWER_DOWN":
+            self._after_wake = operation
+            self.flash.wake(lambda: None)  # completion observed via IRQ
+        else:
+            operation()
+
+    def _do_write(self, page: int, data: bytes) -> None:
+        self.mcu.consume(COMMAND_CYCLES)
+        self.powerstate.set(PS_WRITE)
+        self.flash.program_page(page, data, lambda: None)
+
+    def read(self, page: int, nbytes: int,
+             on_done: Callable[[bytes], None]) -> None:
+        """Arbitrate and read ``nbytes`` from a page."""
+        activity = self.cpu_activity.get()
+
+        def granted() -> None:
+            self._begin_op(activity, on_done)
+            self._start_or_wake(lambda: self._do_read(page, nbytes))
+
+        self.arbiter.request(f"flash-read-{page}", granted)
+
+    def _do_read(self, page: int, nbytes: int) -> None:
+        self.mcu.consume(COMMAND_CYCLES)
+        self.powerstate.set(PS_READ)
+
+        def hw_done(data: bytes) -> None:
+            self._pending_result = data
+
+        self.flash.read_page(page, nbytes, hw_done)
+
+    def erase(self, page: int, on_done: Callable[[], None]) -> None:
+        activity = self.cpu_activity.get()
+
+        def granted() -> None:
+            self._begin_op(activity, on_done)
+            self._start_or_wake(lambda: self._do_erase(page))
+
+        self.arbiter.request(f"flash-erase-{page}", granted)
+
+    def _do_erase(self, page: int) -> None:
+        self.mcu.consume(COMMAND_CYCLES)
+        self.powerstate.set(PS_ERASE)
+        self.flash.erase_page(page, lambda: None)
+
+    # -- completion -----------------------------------------------------------
+
+    def _begin_op(self, activity: ActivityLabel, on_done: Callable) -> None:
+        self._op_activity = activity
+        self._op_done = on_done
+        self.operations += 1
+        self.flash_activity.set(activity)
+
+    def _ready(self) -> None:
+        """The ready-line interrupt: bind the proxy to the stored activity,
+        record the shadowed state, and either start the deferred operation
+        (after a wake) or complete the in-flight one."""
+        if self._op_activity is not None:
+            self.cpu_activity.bind(self._op_activity)
+        self.powerstate.set(_STATE_TO_PS.get(self._last_hw_state, PS_STANDBY))
+        if self._after_wake is not None:
+            operation = self._after_wake
+            self._after_wake = None
+            operation()
+            return
+        callback = self._op_done
+        result = self._pending_result
+        if callback is None:
+            return
+        self._op_done = None
+        self._pending_result = None
+        self.flash_activity.set(self.idle_label)
+        activity = self._op_activity
+        self._op_activity = None
+        client = self.arbiter.owner
+
+        def completion() -> None:
+            if client is not None:
+                self.arbiter.release(client)
+            if result is not None:
+                callback(result)
+            else:
+                callback()
+
+        self.scheduler.post_function(
+            completion, cycles=12, label="flash-done", activity=activity,
+        )

@@ -1,0 +1,114 @@
+"""The SHT11 sensor driver (paper Table 5: 3 files, 10 lines changed).
+
+Split-phase reads: the requesting activity is stored at command time, the
+sensor's activity device is painted with it for the conversion, and the
+data-ready interrupt binds its proxy back to the stored activity before
+posting the readDone task — the standard Quanto driver pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.activity import ProxyActivitySet, SingleActivityDevice
+from repro.core.labels import ActivityLabel
+from repro.core.powerstate import PowerStateVar
+from repro.hw.mcu import Mcu
+from repro.hw.sensor import Sht11Sensor
+from repro.tos.arbiter import Arbiter
+from repro.tos.interrupts import InterruptController
+from repro.tos.scheduler import Scheduler
+
+PS_IDLE = 0
+PS_SAMPLE = 1
+
+SENSOR_STATE_NAMES = {PS_IDLE: "IDLE", PS_SAMPLE: "SAMPLE"}
+
+COMMAND_CYCLES = 30
+READY_CYCLES = 15
+
+
+class SensorDriver:
+    """Instrumented humidity/temperature reads."""
+
+    def __init__(
+        self,
+        mcu: Mcu,
+        scheduler: Scheduler,
+        interrupts: InterruptController,
+        arbiter: Arbiter,
+        sensor: Sht11Sensor,
+        powerstate: PowerStateVar,
+        sensor_activity: SingleActivityDevice,
+        cpu_activity: SingleActivityDevice,
+        proxies: ProxyActivitySet,
+        idle_label: ActivityLabel,
+    ) -> None:
+        self.mcu = mcu
+        self.scheduler = scheduler
+        self.arbiter = arbiter
+        self.sensor = sensor
+        self.powerstate = powerstate
+        self.sensor_activity = sensor_activity
+        self.cpu_activity = cpu_activity
+        self.idle_label = idle_label
+        self._op_activity: Optional[ActivityLabel] = None
+        self._op_done: Optional[Callable[[float], None]] = None
+        self._result: Optional[float] = None
+        self.reads = 0
+        self._ready_irq = interrupts.wire(
+            "int_SENSOR", self._data_ready, body_cycles=READY_CYCLES)
+
+    def read_humidity(self, on_done: Callable[[float], None]) -> None:
+        """Start a humidity conversion; ``on_done(percent)`` in task
+        context under the requester's activity."""
+        self._read(self.sensor.measure_humidity, on_done)
+
+    def read_temperature(self, on_done: Callable[[float], None]) -> None:
+        """Start a temperature conversion; ``on_done(celsius)``."""
+        self._read(self.sensor.measure_temperature, on_done)
+
+    def _read(self, hw_measure, on_done: Callable[[float], None]) -> None:
+        activity = self.cpu_activity.get()
+
+        def granted() -> None:
+            self.mcu.consume(COMMAND_CYCLES)
+            self._op_activity = activity
+            self._op_done = on_done
+            self.reads += 1
+            self.sensor_activity.set(activity)
+            self.powerstate.set(PS_SAMPLE)
+
+            def hw_done(value: float) -> None:
+                self._result = value
+                self._ready_irq()
+
+            hw_measure(hw_done)
+
+        self.arbiter.request("sht11", granted)
+
+    def _data_ready(self) -> None:
+        """Data-ready interrupt: bind the proxy to the stored activity and
+        post the readDone task."""
+        if self._op_activity is not None:
+            self.cpu_activity.bind(self._op_activity)
+        self.powerstate.set(PS_IDLE)
+        self.sensor_activity.set(self.idle_label)
+        callback = self._op_done
+        value = self._result
+        activity = self._op_activity
+        self._op_done = None
+        self._op_activity = None
+        self._result = None
+        client = self.arbiter.owner
+        if callback is None:
+            return
+
+        def completion() -> None:
+            if client is not None:
+                self.arbiter.release(client)
+            callback(value if value is not None else 0.0)
+
+        self.scheduler.post_function(
+            completion, cycles=10, label="sensor-done", activity=activity,
+        )

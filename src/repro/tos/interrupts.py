@@ -1,0 +1,75 @@
+"""The interrupt layer: static proxy activities per vector (paper §3.3).
+
+TinyOS on the MSP430 has no reentrant interrupts, so Quanto statically
+assigns each interrupt routine a fixed proxy activity.  ``wire`` produces
+the hardware-side trigger for a vector: when the hardware fires it, an
+interrupt-context job is queued on the MCU whose wrapper
+
+1. saves the CPU's current activity,
+2. paints the CPU with the vector's proxy activity,
+3. runs the driver-supplied handler body (which may ``bind`` the proxy to
+   a real activity once it figures out what the interrupt was about),
+4. restores the saved activity (returning to the interrupted context) and
+   runs the sleep epilogue.
+
+If the body bound the proxy, the restore still happens — the bind resolved
+*past* proxy usage; the interrupted context continues unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.activity import ProxyActivitySet, SingleActivityDevice
+from repro.hw.mcu import Mcu
+from repro.tos.context import CpuContext
+
+
+class InterruptController:
+    """Wires hardware interrupt lines to instrumented handler jobs."""
+
+    def __init__(
+        self,
+        mcu: Mcu,
+        context: CpuContext,
+        cpu_activity: SingleActivityDevice,
+        proxies: ProxyActivitySet,
+    ) -> None:
+        self.mcu = mcu
+        self.context = context
+        self.cpu_activity = cpu_activity
+        self.proxies = proxies
+        self.dispatch_counts: dict[str, int] = {}
+
+    def wire(
+        self,
+        vector: str,
+        handler: Callable[[], None],
+        body_cycles: int = 20,
+    ) -> Callable[[], None]:
+        """Return the trigger for ``vector``; hardware calls it to raise
+        the interrupt.  ``body_cycles`` is the handler's base cost (the
+        handler may consume more as it works)."""
+        proxy_label = self.proxies.label(vector)
+
+        def body() -> None:
+            self.dispatch_counts[vector] = self.dispatch_counts.get(vector, 0) + 1
+            saved = self.cpu_activity.get()
+            self.cpu_activity.set(proxy_label)
+            self.mcu.consume(body_cycles)
+            try:
+                handler()
+            finally:
+                self.cpu_activity.set(saved)
+
+        def trigger() -> None:
+            self.mcu.post_irq(
+                lambda: self.context.run_wrapped(body),
+                label=vector,
+            )
+
+        return trigger
+
+    def count(self, vector: str) -> int:
+        """How many times a vector has dispatched (Figure 15's evidence)."""
+        return self.dispatch_counts.get(vector, 0)

@@ -1,0 +1,374 @@
+"""A bootable Quanto node: platform + instrumentation + OS services.
+
+``QuantoNode`` is the top of the substrate stack and the main entry point
+for applications and experiments.  It assembles:
+
+* the :class:`~repro.hw.platform.HydrowatchPlatform` hardware,
+* the Quanto core — activity devices, power-state variables, the logger,
+* the OS — interrupt controller, scheduler, virtual timers, arbiters,
+  instrumented drivers, a MAC, and the Active Message layer,
+
+and exposes the offline-analysis conveniences (decode the log, rebuild
+the timeline, run the regression, build the energy map).
+
+Resource ids are fixed per the table below so logs are comparable across
+nodes and runs:
+
+====  ==========
+res   device
+====  ==========
+0     CPU
+1–3   LED0–LED2
+4     Radio
+5     External flash
+6     SHT11 sensor
+7     ADC
+8     Voltage reference
+9     Hardware timer B (multi-activity)
+====  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.accounting import EnergyMap, build_energy_map
+from repro.core.activity import (
+    MultiActivityDevice,
+    ProxyActivitySet,
+    SingleActivityDevice,
+)
+from repro.core.counters import CounterAccountant
+from repro.core.labels import (
+    PROXY_IDS,
+    QUANTO_ID,
+    ActivityLabel,
+    ActivityRegistry,
+    idle_label,
+)
+from repro.core.logger import QuantoLogger
+from repro.core.powerstate import PowerStateTracker
+from repro.core.regression import (
+    RegressionResult,
+    layout_from_tracker,
+    solve_breakdown,
+)
+from repro.core.timeline import TimelineBuilder
+from repro.hw.platform import HydrowatchPlatform, PlatformConfig
+from repro.net.channel import RadioChannel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.tos.am import ActiveMessageLayer
+from repro.tos.arbiter import Arbiter
+from repro.tos.context import CpuContext
+from repro.tos.drivers.flash import FLASH_STATE_NAMES, FlashDriver
+from repro.tos.drivers.leds import LedsDriver
+from repro.tos.drivers.radio import RADIO_STATE_NAMES, RadioDriver
+from repro.tos.drivers.sensor import SENSOR_STATE_NAMES, SensorDriver
+from repro.tos.interrupts import InterruptController
+from repro.tos.mac import CsmaMac, LplConfig, LplMac
+from repro.tos.scheduler import Scheduler
+from repro.tos.vtimer import VirtualTimerSystem
+
+# Fixed resource ids.
+RES_CPU = 0
+RES_LED0 = 1
+RES_LED1 = 2
+RES_LED2 = 3
+RES_RADIO = 4
+RES_FLASH = 5
+RES_SENSOR = 6
+RES_ADC = 7
+RES_VREF = 8
+RES_TIMERB = 9
+
+COMPONENT_NAMES = {
+    RES_CPU: "CPU",
+    RES_LED0: "LED0",
+    RES_LED1: "LED1",
+    RES_LED2: "LED2",
+    RES_RADIO: "Radio",
+    RES_FLASH: "Flash",
+    RES_SENSOR: "Sensor",
+    RES_ADC: "ADC",
+    RES_VREF: "VRef",
+    RES_TIMERB: "TimerB",
+}
+
+
+@dataclass
+class NodeConfig:
+    """Everything configurable about one node."""
+
+    node_id: int = 1
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    logger_mode: str = "ram"
+    logger_buffer_entries: int = 200_000
+    logger_auto_dump: bool = False
+    mac: str = "csma"  # 'csma', 'lpl', or 'none'
+    lpl: LplConfig = field(default_factory=LplConfig)
+    radio_channel_number: int = 26
+    enable_counters: bool = False
+
+    def __post_init__(self) -> None:
+        self.platform.node_id = self.node_id
+
+
+class QuantoNode:
+    """One instrumented node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[NodeConfig] = None,
+        registry: Optional[ActivityRegistry] = None,
+        channel: Optional[RadioChannel] = None,
+        rng_factory: Optional[RngFactory] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NodeConfig()
+        self.node_id = self.config.node_id
+        self.registry = registry or ActivityRegistry()
+        self.rng = rng_factory or RngFactory(0)
+        self.platform = HydrowatchPlatform(sim, self.config.platform, self.rng)
+
+        # ---- Quanto core -------------------------------------------------
+        self.idle = idle_label(self.node_id)
+        self.proxies = ProxyActivitySet(self.node_id, PROXY_IDS)
+        self.quanto_label = ActivityLabel(self.node_id, QUANTO_ID)
+        self.vtimer_label = self.registry.label(self.node_id, "VTimer")
+
+        self.tracker = PowerStateTracker()
+        mcu_sleep = self.config.platform.sleep_state
+        self.cpu_powerstate = self.tracker.create(
+            "CPU", RES_CPU, {0: mcu_sleep, 1: "ACTIVE"}, baseline_value=0)
+        self.led_powerstates = [
+            self.tracker.create(f"LED{i}", RES_LED0 + i, {0: "OFF", 1: "ON"})
+            for i in range(3)
+        ]
+        self.radio_powerstate = self.tracker.create(
+            "Radio", RES_RADIO, RADIO_STATE_NAMES, baseline_value=0)
+        self.flash_powerstate = self.tracker.create(
+            "Flash", RES_FLASH, FLASH_STATE_NAMES, baseline_value=0)
+        self.sensor_powerstate = self.tracker.create(
+            "Sensor", RES_SENSOR, SENSOR_STATE_NAMES, baseline_value=0)
+        self.adc_powerstate = self.tracker.create(
+            "ADC", RES_ADC, {0: "OFF", 1: "CONVERTING"}, baseline_value=0)
+        self.vref_powerstate = self.tracker.create(
+            "VRef", RES_VREF, {0: "OFF", 1: "ON"}, baseline_value=0)
+
+        self.cpu_activity = SingleActivityDevice("CPU", RES_CPU, self.idle)
+        self.led_activities = [
+            SingleActivityDevice(f"LED{i}", RES_LED0 + i, self.idle)
+            for i in range(3)
+        ]
+        self.radio_activity = SingleActivityDevice(
+            "Radio", RES_RADIO, self.idle)
+        self.flash_activity = SingleActivityDevice(
+            "Flash", RES_FLASH, self.idle)
+        self.sensor_activity = SingleActivityDevice(
+            "Sensor", RES_SENSOR, self.idle)
+        self.timer_activity = MultiActivityDevice("TimerB", RES_TIMERB)
+
+        self.logger = QuantoLogger(
+            self.platform.mcu,
+            self.platform.icount,
+            mode=self.config.logger_mode,
+            buffer_entries=self.config.logger_buffer_entries,
+            auto_dump=self.config.logger_auto_dump,
+            quanto_activity=self.quanto_label,
+            cpu_activity=self.cpu_activity,
+            scheduler=None,  # patched below once the scheduler exists
+        )
+        self.tracker.add_listener(self.logger.on_powerstate)
+        for device in self._single_devices():
+            device.add_tracker(self.logger.on_single_activity)
+        self.timer_activity.add_tracker(self.logger.on_multi_activity)
+
+        # ---- OS services --------------------------------------------------
+        self.context = CpuContext(
+            self.platform.mcu, self.cpu_activity, self.cpu_powerstate,
+            self.idle)
+        self.interrupts = InterruptController(
+            self.platform.mcu, self.context, self.cpu_activity, self.proxies)
+        self.scheduler = Scheduler(
+            self.platform.mcu, self.context, self.cpu_activity)
+        self.logger.scheduler = self.scheduler
+        self.vtimers = VirtualTimerSystem(
+            self.platform.mcu, self.scheduler, self.interrupts,
+            self.platform.timer_b.unit(0), self.cpu_activity,
+            self.timer_activity, self.vtimer_label)
+        self.bus_arbiter = Arbiter(
+            "bus", self.scheduler, resource_activity=None,
+            idle_label=self.idle)
+
+        self.leds = LedsDriver(
+            self.platform.mcu, self.platform.leds, self.led_powerstates,
+            self.led_activities, self.cpu_activity, self.idle)
+        self.flash = FlashDriver(
+            self.platform.mcu, self.scheduler, self.interrupts,
+            self.bus_arbiter, self.platform.flash, self.flash_powerstate,
+            self.flash_activity, self.cpu_activity, self.proxies, self.idle)
+        self.sensor = SensorDriver(
+            self.platform.mcu, self.scheduler, self.interrupts,
+            Arbiter("sht11", self.scheduler), self.platform.sensor,
+            self.sensor_powerstate, self.sensor_activity, self.cpu_activity,
+            self.proxies, self.idle)
+
+        self.channel = channel
+        self.radio_driver: Optional[RadioDriver] = None
+        self.mac = None
+        self.am: Optional[ActiveMessageLayer] = None
+        if channel is not None:
+            self.platform.radio.set_channel_number(
+                self.config.radio_channel_number)
+            self.platform.radio.attach(channel)
+            self.radio_driver = RadioDriver(
+                self.platform.mcu, self.scheduler, self.interrupts,
+                self.vtimers, self.platform.spi, self.platform.radio,
+                self.radio_powerstate, self.radio_activity,
+                self.cpu_activity, self.proxies, self.idle,
+                self.rng.stream(f"node{self.node_id}.mac"),
+                spi_mode=self.config.platform.spi_mode)
+            if self.config.mac == "csma":
+                self.mac = CsmaMac(self.radio_driver)
+            elif self.config.mac == "lpl":
+                self.mac = LplMac(
+                    self.radio_driver, self.vtimers, self.cpu_activity,
+                    self.vtimer_label, self.proxies.label("pxy_RX"),
+                    self.idle, self.config.lpl)
+            if self.mac is not None:
+                self.am = ActiveMessageLayer(
+                    self.node_id, self.mac, self.cpu_activity,
+                    self.platform.mcu)
+
+        # The DCO-calibration leak, if configured (Figure 15).
+        dco_trigger = self.interrupts.wire(
+            "int_TIMERA1", self._dco_calibrate, body_cycles=20)
+        self.platform.clock.start(dco_trigger)
+
+        self.counters: Optional[CounterAccountant] = None
+        if self.config.enable_counters:
+            self.counters = CounterAccountant(
+                sim, self.platform.icount, mcu=self.platform.mcu)
+            self.cpu_activity.add_tracker(self.counters.on_single_activity)
+
+        self._booted = False
+        self._log_end_mark_ns = -1
+
+    # -- boot ------------------------------------------------------------
+
+    def boot(self, app_start: Optional[Callable[["QuantoNode"], None]] = None,
+             ) -> None:
+        """Queue the boot task: record the initial state snapshot, then
+        run the application's start hook."""
+        if self._booted:
+            raise RuntimeError(f"node {self.node_id} already booted")
+        self._booted = True
+
+        def boot_body() -> None:
+            self.logger.record_boot_snapshot(
+                self.tracker, self._single_devices())
+            if app_start is not None:
+                app_start(self)
+
+        self.scheduler.post_function(boot_body, cycles=40, label="boot",
+                                     activity=self.idle)
+
+    def _dco_calibrate(self) -> None:
+        """The TimerA1 DCO-calibration ISR body (the energy leak)."""
+        from repro.hw.clock import DCO_CALIBRATION_CYCLES
+        self.platform.mcu.consume(DCO_CALIBRATION_CYCLES)
+
+    def _single_devices(self) -> list[SingleActivityDevice]:
+        return [
+            self.cpu_activity, *self.led_activities, self.radio_activity,
+            self.flash_activity, self.sensor_activity,
+        ]
+
+    # -- activity helpers ----------------------------------------------------
+
+    def activity(self, name: str) -> ActivityLabel:
+        """A label for a named application activity, originating here."""
+        return self.registry.label(self.node_id, name)
+
+    def set_cpu_activity(self, name: str) -> ActivityLabel:
+        """The Figure 7 idiom: paint the CPU before starting an activity."""
+        label = self.activity(name)
+        self.cpu_activity.set(label)
+        return label
+
+    # -- offline analysis -----------------------------------------------------
+
+    def entries(self):
+        """The decoded log."""
+        return self.logger.decode()
+
+    def mark_log_end(self) -> None:
+        """Close the log for analysis: wake the CPU once so the final
+        power-state records and meter reading land in the log (energy past
+        the last record is unobservable — a real dump does exactly this
+        read when it stops logging)."""
+        from repro.units import ms as _ms
+
+        if (self._log_end_mark_ns >= 0
+                and self.sim.now <= self._log_end_mark_ns + _ms(1)):
+            return  # already marked; the clock only moved by the settle
+        if self.platform.mcu._in_job:
+            return  # called from inside the simulation; nothing to close
+        self._log_end_mark_ns = self.sim.now
+        self.scheduler.post_function(
+            lambda: self.platform.mcu.consume(4),
+            cycles=4, label="log-end-mark", activity=self.idle)
+        self.sim.run(until=self.sim.now + _ms(1))
+
+    def timeline(self, end_time_ns: Optional[int] = None,
+                 finalize: bool = True) -> TimelineBuilder:
+        if finalize and self._booted:
+            self.mark_log_end()
+        return TimelineBuilder(
+            self.entries(),
+            end_time_ns=end_time_ns if end_time_ns is not None else self.sim.now,
+            single_res_ids=[d.res_id for d in self._single_devices()],
+            multi_res_ids=[RES_TIMERB],
+        )
+
+    def layout(self):
+        return layout_from_tracker(self.tracker)
+
+    def regression(
+        self,
+        timeline: Optional[TimelineBuilder] = None,
+        weighting: str = "sqrt_et",
+        strict: bool = False,
+    ) -> RegressionResult:
+        """Run the Section 2.5 breakdown on this node's log."""
+        tl = timeline if timeline is not None else self.timeline()
+        return solve_breakdown(
+            tl.power_intervals(),
+            self.layout(),
+            self.platform.icount.nominal_energy_per_pulse_j,
+            self.platform.rail.voltage,
+            weighting=weighting,
+            strict=strict,
+        )
+
+    def energy_map(
+        self,
+        timeline: Optional[TimelineBuilder] = None,
+        regression: Optional[RegressionResult] = None,
+        fold_proxies: bool = False,
+    ) -> EnergyMap:
+        """The full 'where have the joules gone' answer for this node."""
+        tl = timeline if timeline is not None else self.timeline()
+        reg = regression if regression is not None else self.regression(tl)
+        return build_energy_map(
+            tl, reg, self.registry, COMPONENT_NAMES,
+            self.platform.icount.nominal_energy_per_pulse_j,
+            fold_proxies=fold_proxies,
+            idle_name=self.registry.name_of(self.idle),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<QuantoNode {self.node_id} mac={self.config.mac}>"

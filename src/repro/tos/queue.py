@@ -1,0 +1,88 @@
+"""Instrumented forwarding queues (paper §3.3).
+
+"There are other less general structures that effectively defer
+processing of an activity, such as forwarding queues in protocols, and we
+have to instrument these to also store and restore the CPU activity
+associated with the queue entry."
+
+A :class:`ForwardingQueue` stores the CPU's current activity alongside
+each enqueued item and restores it when the item is processed, so a
+multihop protocol that queues packets from several origins charges each
+forwarding operation to the right remote activity even when the radio is
+busy and service is deferred arbitrarily.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generic, Optional, TypeVar
+
+from repro.core.activity import SingleActivityDevice
+from repro.core.labels import ActivityLabel
+from repro.errors import SimulationError
+
+T = TypeVar("T")
+
+#: Cycles for queue bookkeeping per operation.
+QUEUE_CYCLES = 7
+
+
+class ForwardingQueue(Generic[T]):
+    """A bounded FIFO that preserves activity labels across deferral."""
+
+    def __init__(
+        self,
+        name: str,
+        cpu_activity: SingleActivityDevice,
+        mcu,
+        capacity: int = 8,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("queue capacity must be positive")
+        self.name = name
+        self.cpu_activity = cpu_activity
+        self.mcu = mcu
+        self.capacity = capacity
+        self._items: deque[tuple[T, ActivityLabel]] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        self.dequeued = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def enqueue(self, item: T) -> bool:
+        """Store the item with the CPU's current activity.  Returns False
+        (drop-tail) when the queue is full — queue losses are a real
+        sensornet failure mode worth modelling."""
+        if self.mcu._in_job:
+            self.mcu.consume(QUEUE_CYCLES)
+        if self.full:
+            self.dropped += 1
+            return False
+        self._items.append((item, self.cpu_activity.get()))
+        self.enqueued += 1
+        return True
+
+    def dequeue(self) -> Optional[T]:
+        """Pop the oldest item, *restoring its saved activity* onto the
+        CPU — the instrumentation point the paper calls out."""
+        if not self._items:
+            return None
+        if self.mcu._in_job:
+            self.mcu.consume(QUEUE_CYCLES)
+        item, activity = self._items.popleft()
+        self.cpu_activity.set(activity)
+        self.dequeued += 1
+        return item
+
+    def peek_activity(self) -> Optional[ActivityLabel]:
+        """The saved activity of the head item (for schedulers that want
+        to make activity-aware service decisions)."""
+        if not self._items:
+            return None
+        return self._items[0][1]

@@ -1,0 +1,102 @@
+"""The TinyOS task scheduler, instrumented for activity propagation.
+
+TinyOS has a single stack and an event-driven execution model: the
+schedulable unit is the *task* — posted from any context, run to
+completion in FIFO order, never preempting another task (but preemptible
+by interrupts).  Quanto's instrumentation (paper §3.3, Table 5 "Tasks"):
+**save the current CPU activity when a task is posted, and restore it just
+before the task runs**, so logical threads of computation keep their
+labels across arbitrary multiplexing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.activity import SingleActivityDevice
+from repro.core.labels import ActivityLabel
+from repro.hw.mcu import Mcu
+from repro.tos.context import CpuContext
+
+#: Cost of posting a task (queue insert).
+POST_CYCLES = 6
+#: Scheduler dispatch overhead per task.
+DISPATCH_CYCLES = 10
+
+
+class Task:
+    """A reusable task: TinyOS tasks are singletons that may be re-posted,
+    but a task already in the queue is not queued twice."""
+
+    __slots__ = ("fn", "cycles", "name", "_queued")
+
+    def __init__(self, fn: Callable[[], None], cycles: int = 0,
+                 name: str = "task"):
+        self.fn = fn
+        self.cycles = cycles
+        self.name = name
+        self._queued = False
+
+
+class Scheduler:
+    """Posts instrumented task jobs onto the MCU."""
+
+    def __init__(
+        self,
+        mcu: Mcu,
+        context: CpuContext,
+        cpu_activity: SingleActivityDevice,
+    ) -> None:
+        self.mcu = mcu
+        self.context = context
+        self.cpu_activity = cpu_activity
+        self.tasks_posted = 0
+        self.tasks_run = 0
+
+    def post(self, task: Task) -> bool:
+        """Post a task; returns False if it was already queued (TinyOS
+        semantics).  The poster's activity is captured here."""
+        if task._queued:
+            return False
+        task._queued = True
+        self._post_with_activity(task.fn, task.cycles, task.name,
+                                 self.cpu_activity.get(),
+                                 lambda: setattr(task, "_queued", False))
+        return True
+
+    def post_function(
+        self,
+        fn: Callable[[], None],
+        cycles: int = 0,
+        label: str = "task",
+        activity: Optional[ActivityLabel] = None,
+    ) -> None:
+        """Post a one-shot function as a task.  ``activity`` overrides the
+        captured label (the virtual timer system uses this to restore a
+        timer's saved activity)."""
+        captured = activity if activity is not None else self.cpu_activity.get()
+        self._post_with_activity(fn, cycles, label, captured, None)
+
+    def _post_with_activity(
+        self,
+        fn: Callable[[], None],
+        cycles: int,
+        label: str,
+        saved: ActivityLabel,
+        on_start: Optional[Callable[[], None]],
+    ) -> None:
+        self.tasks_posted += 1
+        if self.mcu._in_job:  # posting from CPU code costs cycles
+            self.mcu.consume(POST_CYCLES)
+
+        def body() -> None:
+            self.tasks_run += 1
+            if on_start is not None:
+                on_start()
+            # Restore the activity saved at post time (the instrumentation
+            # the paper added to the TinyOS scheduler).
+            self.cpu_activity.set(saved)
+            self.mcu.consume(DISPATCH_CYCLES + cycles)
+            fn()
+
+        self.mcu.post_task(lambda: self.context.run_wrapped(body), label=label)

@@ -1,0 +1,82 @@
+"""Arbiters: FIFO grants and automatic activity transfer."""
+
+import pytest
+
+from repro.core.activity import SingleActivityDevice
+from repro.errors import SimulationError
+from repro.tos.arbiter import Arbiter
+from repro.units import ms
+
+
+def test_fifo_grant_order(node, sim):
+    arbiter = Arbiter("bus", node.scheduler)
+    order = []
+
+    def app(n):
+        arbiter.request("a", lambda: order.append("a"))
+        arbiter.request("b", lambda: order.append("b"))
+
+    node.boot(app)
+    sim.run(until=ms(5))
+    # Only the first client is granted until it releases.
+    assert order == ["a"]
+    assert arbiter.owner == "a"
+    node.scheduler.post_function(lambda: arbiter.release("a"))
+    sim.run(until=ms(10))
+    assert order == ["a", "b"]
+    assert arbiter.owner == "b"
+
+
+def test_grant_transfers_requester_activity(node, sim):
+    resource = SingleActivityDevice("Flash", 5, node.idle)
+    arbiter = Arbiter("bus", node.scheduler,
+                      resource_activity=resource, idle_label=node.idle)
+    red = node.activity("Red")
+    observed = []
+
+    def app(n):
+        n.cpu_activity.set(red)
+        arbiter.request("client", lambda: observed.append(resource.get()))
+
+    node.boot(app)
+    sim.run(until=ms(5))
+    # On grant the resource was painted with the requester's activity.
+    assert observed == [red]
+    node.scheduler.post_function(lambda: arbiter.release("client"))
+    sim.run(until=ms(10))
+    assert resource.get() == node.idle
+
+
+def test_release_by_non_owner_rejected(node, sim):
+    arbiter = Arbiter("bus", node.scheduler)
+    node.boot(lambda n: arbiter.request("a", lambda: None))
+    sim.run(until=ms(5))
+    with pytest.raises(SimulationError):
+        arbiter.release("b")
+
+
+def test_grant_callback_runs_under_requester_activity(node, sim):
+    arbiter = Arbiter("bus", node.scheduler)
+    red = node.activity("Red")
+    seen = []
+
+    def app(n):
+        n.cpu_activity.set(red)
+        arbiter.request("c", lambda: seen.append(n.cpu_activity.get()))
+        n.cpu_activity.set(n.idle)
+
+    node.boot(app)
+    sim.run(until=ms(5))
+    assert seen == [red]
+
+
+def test_queued_grants_count(node, sim):
+    arbiter = Arbiter("bus", node.scheduler)
+
+    def app(n):
+        for name in ("a", "b", "c"):
+            arbiter.request(name, lambda: None)
+
+    node.boot(app)
+    sim.run(until=ms(5))
+    assert arbiter.grants == 1  # b and c still queued behind a

@@ -1,0 +1,90 @@
+"""The platform catalog and actual-draw profiles."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.hw.catalog import (
+    NOMINAL_CATALOG,
+    ActualDrawProfile,
+    catalog_power_state_count,
+    catalog_sink,
+    default_actual_profile,
+    render_table1,
+)
+from repro.sim.rng import RngFactory
+from repro.units import ma, ua
+
+
+def test_catalog_covers_the_paper_counts():
+    mcu = [s for s in NOMINAL_CATALOG if s.group == "Microcontroller"]
+    radio = [s for s in NOMINAL_CATALOG if s.group == "Radio"]
+    assert len(mcu) == 8
+    assert sum(len(s.states) for s in mcu) == 16
+    assert len(radio) == 5
+    assert sum(len(s.states) for s in radio) == 14
+
+
+def test_nominal_values_match_table1():
+    assert catalog_sink("CPU").state("ACTIVE").nominal_amps == ua(500)
+    assert catalog_sink("CPU").state("LPM3").nominal_amps == ua(2.6)
+    assert catalog_sink("RadioRxPath").state("RX_LISTEN").nominal_amps == \
+        ma(19.7)
+    assert catalog_sink("RadioTxPath").state("TX_-25dBm").nominal_amps == \
+        ma(8.5)
+    assert catalog_sink("LED0").state("ON").nominal_amps == ma(4.3)
+    assert catalog_sink("ExternalFlash").state("WRITE").nominal_amps == \
+        ma(12)
+
+
+def test_unknown_lookups_raise():
+    with pytest.raises(PowerModelError):
+        catalog_sink("Nonexistent")
+    with pytest.raises(PowerModelError):
+        catalog_sink("CPU").state("WARP")
+
+
+def test_profile_falls_back_to_nominal():
+    profile = ActualDrawProfile()
+    assert profile.current("LED0", "ON") == ma(4.3)
+
+
+def test_default_profile_differs_from_nominal():
+    """The point of the paper: deployed hardware is not the datasheet."""
+    profile = default_actual_profile()
+    assert profile.current("LED0", "ON") == pytest.approx(ma(2.50))
+    assert profile.current("LED0", "ON") != catalog_sink("LED0").state(
+        "ON").nominal_amps
+    assert profile.current("RadioRxPath", "RX_LISTEN") == \
+        pytest.approx(ma(18.46))
+    assert profile.baseline_amps == pytest.approx(ma(0.82))
+
+
+def test_variation_perturbs_deterministically():
+    base = default_actual_profile()
+    base.variation = 0.05
+    rng1 = RngFactory(1).stream("var")
+    rng2 = RngFactory(1).stream("var")
+    p1 = base.with_variation(rng1)
+    p2 = base.with_variation(rng2)
+    led1 = p1.current("LED0", "ON")
+    assert led1 == p2.current("LED0", "ON")
+    assert led1 != base.current("LED0", "ON")
+    assert abs(led1 / base.current("LED0", "ON") - 1.0) <= 0.05 + 1e-9
+
+
+def test_zero_variation_is_identity():
+    base = default_actual_profile()
+    assert base.with_variation(RngFactory(0).stream("x")) is base
+
+
+def test_render_table1_contains_all_sinks():
+    text = render_table1()
+    for sink in NOMINAL_CATALOG:
+        assert sink.name in text
+    assert "19.7 mA" in text
+    assert "[Radio]" in text
+
+
+def test_state_count_total():
+    assert catalog_power_state_count() == sum(
+        len(s.states) for s in NOMINAL_CATALOG)

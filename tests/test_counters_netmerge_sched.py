@@ -1,0 +1,192 @@
+"""Online counters, the network merge, and energy-aware scheduling."""
+
+import pytest
+
+from repro.core.accounting import EnergyMap
+from repro.core.counters import CounterAccountant
+from repro.core.labels import ActivityLabel
+from repro.core.netmerge import (
+    activities_by_origin,
+    merge_energy_maps,
+)
+from repro.core.sched_ext import (
+    EnergyBudgetScheduler,
+    EqualEnergyPolicy,
+    FixedBudgetPolicy,
+)
+from repro.errors import ActivityError
+from repro.hw.power import PowerRail
+from repro.meter.icount import ICountMeter
+from repro.sim.engine import Simulator
+from repro.units import ma, seconds
+
+RED = ActivityLabel(1, 1)
+BLUE = ActivityLabel(1, 2)
+PROXY = ActivityLabel(1, 0xC8)
+
+
+def _counter_stack():
+    sim = Simulator()
+    rail = PowerRail(sim, voltage=3.0)
+    load = rail.register("load")
+    load.set_current(ma(10))  # 30 mW constant
+    meter = ICountMeter(rail)
+    counters = CounterAccountant(sim, meter)
+    return sim, counters
+
+
+class _FakeDevice:
+    pass
+
+
+def test_counters_charge_current_activity():
+    sim, counters = _counter_stack()
+    device = _FakeDevice()
+    counters.on_single_activity(device, RED, bound=False)
+    sim.at(seconds(1), lambda: None)
+    sim.run()
+    counters.on_single_activity(device, BLUE, bound=False)
+    sim.at(seconds(3), lambda: None)
+    sim.run()
+    snapshot = counters.snapshot()
+    # RED held the CPU for 1 s at 30 mW, BLUE for 2 s.
+    assert snapshot[RED].energy_j == pytest.approx(0.030, rel=0.01)
+    assert snapshot[BLUE].energy_j == pytest.approx(0.060, rel=0.01)
+    assert snapshot[RED].time_ns == seconds(1)
+    assert snapshot[BLUE].time_ns == seconds(2)
+
+
+def test_counters_bind_merges_proxy_usage():
+    sim, counters = _counter_stack()
+    device = _FakeDevice()
+    counters.on_single_activity(device, PROXY, bound=False)
+    sim.at(seconds(1), lambda: None)
+    sim.run()
+    counters.on_single_activity(device, RED, bound=True)
+    snapshot = counters.snapshot()
+    assert snapshot[PROXY].energy_j == 0.0
+    assert snapshot[RED].energy_j == pytest.approx(0.030, rel=0.01)
+
+
+def test_counters_overflow_bucket():
+    sim, counters = _counter_stack()
+    counters.max_slots = 2
+    device = _FakeDevice()
+    labels = [ActivityLabel(1, i + 1) for i in range(4)]
+    for label in labels:
+        counters.on_single_activity(device, label, bound=False)
+        sim.at(sim.now + seconds(1), lambda: None)
+        sim.run()
+    counters.snapshot()
+    assert counters.overflow.energy_j > 0.0
+
+
+def test_counters_memory_and_total():
+    sim, counters = _counter_stack()
+    assert counters.memory_bytes() == 12 * counters.max_slots
+    device = _FakeDevice()
+    counters.on_single_activity(device, RED, bound=False)
+    sim.at(seconds(2), lambda: None)
+    sim.run()
+    assert counters.total_energy_j() == pytest.approx(0.060, rel=0.01)
+
+
+def test_counters_need_two_slots():
+    sim, counters = _counter_stack()
+    with pytest.raises(ActivityError):
+        CounterAccountant(sim, counters.icount, slots=1)
+
+
+# -- netmerge ---------------------------------------------------------------
+
+
+def _map_with(entries):
+    emap = EnergyMap()
+    for component, activity, joules in entries:
+        emap.add_energy(component, activity, joules)
+    return emap
+
+
+def test_merge_aggregates_across_nodes():
+    maps = {
+        1: _map_with([("Radio", "4:BounceApp", 0.002),
+                      ("LED1", "4:BounceApp", 0.003),
+                      ("Const.", "Const.", 0.010)]),
+        4: _map_with([("Radio", "4:BounceApp", 0.004),
+                      ("CPU", "1:BounceApp", 0.001)]),
+    }
+    report = merge_energy_maps(maps)
+    assert report.by_activity["4:BounceApp"] == pytest.approx(0.009)
+    assert report.by_activity["1:BounceApp"] == pytest.approx(0.001)
+    # Const excluded by default.
+    assert "Const." not in report.by_activity
+    with_const = merge_energy_maps(maps, include_const=True)
+    assert with_const.by_activity["Const."] == pytest.approx(0.010)
+
+
+def test_remote_fraction_butterfly():
+    maps = {
+        1: _map_with([("Radio", "1:Flood", 0.001)]),
+        2: _map_with([("Radio", "1:Flood", 0.002)]),
+        3: _map_with([("Radio", "1:Flood", 0.003)]),
+    }
+    report = merge_energy_maps(maps)
+    # 5/6 of the flood's energy was spent away from its origin.
+    assert report.remote_fraction("1:Flood", 1) == pytest.approx(5 / 6)
+    assert activities_by_origin(report, 1) == ["1:Flood"]
+
+
+# -- energy-aware scheduling --------------------------------------------------
+
+
+class _FakeScheduler:
+    def __init__(self, cpu_activity_label):
+        self.posted = []
+
+        class _Act:
+            def __init__(self, label):
+                self._label = label
+
+            def get(self):
+                return self._label
+
+        self.cpu_activity = _Act(cpu_activity_label)
+
+    def post_function(self, fn, cycles=0, label="task", activity=None):
+        self.posted.append((fn, activity))
+
+
+def test_budget_defers_over_budget_activity():
+    sim, counters = _counter_stack()
+    device = _FakeDevice()
+    scheduler = _FakeScheduler(RED)
+    budget = EnergyBudgetScheduler(
+        scheduler, counters, FixedBudgetPolicy({RED: 0.010}))
+    budget.register_activity(RED)
+    # Burn 30 mJ under RED: over its 10 mJ budget.
+    counters.on_single_activity(device, RED, bound=False)
+    sim.at(seconds(1), lambda: None)
+    sim.run()
+    assert budget.post(lambda: None, activity=RED) is False
+    assert budget.pending_deferred() == 1
+    assert scheduler.posted == []
+    # New epoch refills; the deferred task is released.
+    assert budget.new_epoch() == 1
+    assert len(scheduler.posted) == 1
+
+
+def test_budget_unregistered_activity_unthrottled():
+    sim, counters = _counter_stack()
+    scheduler = _FakeScheduler(BLUE)
+    budget = EnergyBudgetScheduler(
+        scheduler, counters, FixedBudgetPolicy({RED: 0.0}))
+    assert budget.post(lambda: None, activity=BLUE) is True
+    assert len(scheduler.posted) == 1
+
+
+def test_equal_energy_policy_shares():
+    policy = EqualEnergyPolicy(0.010)
+    assert policy.allowance(RED, [RED, BLUE]) == pytest.approx(0.005)
+    assert policy.allowance(RED, []) == pytest.approx(0.010)
+    with pytest.raises(ActivityError):
+        EqualEnergyPolicy(0.0)

@@ -1,0 +1,77 @@
+"""Smoke tests: every experiment module runs and reports coherently.
+
+The benchmarks assert the tight numeric bands; here we check structure —
+every experiment renders, carries its comparisons, and exposes the data
+keys its bench relies on — so a broken experiment fails fast in the unit
+suite, not only in the (slower) bench run.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_weighting,
+    fig10,
+    fig11,
+    fig12,
+    fig15,
+    fig16,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+FAST_MODULES = [table1, table2, fig10, fig11, table3, fig15, fig16,
+                table4, table5, ablation_weighting]
+
+
+@pytest.mark.parametrize("module", FAST_MODULES,
+                         ids=lambda m: m.__name__.rsplit(".", 1)[-1])
+def test_experiment_runs_and_renders(module):
+    result = module.run()
+    assert result.exp_id
+    assert result.title
+    text = result.render()
+    assert result.exp_id in text
+    assert len(text) > 100
+
+
+def test_table2_measurements_cover_all_states():
+    result = table2.run()
+    indicators = {tuple(ind) for ind, _ in result.data["measurements"]}
+    assert len(indicators) == 8  # all LED combinations observed
+
+
+def test_fig12_data_keys():
+    result = fig12.run()
+    for key in ("node1_bounces", "rx_bind_found",
+                "remote_activity_mj_on_node1"):
+        assert key in result.data
+
+
+def test_fig15_leak_vs_fixed():
+    result = fig15.run()
+    assert result.data["fires"] > 0
+    assert result.data["fixed_fires"] == 0
+    assert result.data["leak_energy_uj"] > 0
+
+
+def test_fig16_modes_differ():
+    result = fig16.run()
+    assert result.data["load_dma_ms"] < result.data["load_irq_ms"]
+
+
+def test_comparisons_have_sane_ratios():
+    """Table 3's measured values all land within 25 % of the paper."""
+    result = table3.run()
+    for name, paper, measured in result.comparisons:
+        if paper == 0:
+            continue
+        assert 0.75 < measured / paper < 1.25, (name, paper, measured)
+
+
+def test_experiments_are_deterministic():
+    a = table3.run(seed=0)
+    b = table3.run(seed=0)
+    assert a.data["energy_by_activity_mj"] == b.data["energy_by_activity_mj"]

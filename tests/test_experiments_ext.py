@@ -1,0 +1,41 @@
+"""Smoke tests for the extension and comparator experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_model_vs_meter,
+    ablation_proxies,
+    ext_collection,
+    ext_txpower,
+)
+
+
+def test_model_vs_meter_gap():
+    result = ablation_model_vs_meter.run()
+    # The whole point: metering beats the datasheet model by an order of
+    # magnitude on hardware that differs from its datasheet.
+    assert result.data["mean_abs_err_quanto_pct"] * 5 < \
+        result.data["mean_abs_err_model_pct"]
+    assert result.data["model_total_mj"] > result.data["truth_total_mj"]
+
+
+def test_proxy_folding_conserves_total():
+    result = ablation_proxies.run()
+    assert result.data["totals_match"]
+    assert result.data["remote_folded_mj"] >= \
+        result.data["remote_unfolded_mj"]
+
+
+def test_collection_experiment():
+    result = ext_collection.run()
+    assert result.data["delivered"] >= 5
+    assert result.data["leaf_remote_fraction"] > 0.0
+    assert "12:Collect" in result.data["by_activity_mj"]
+
+
+@pytest.mark.slow
+def test_txpower_sweep_monotone():
+    result = ext_txpower.run()
+    assert result.data["monotone_pairs"] >= 6
+    draws = [r["tx_ma"] for r in result.data["results"]]
+    assert draws[0] > draws[-1]

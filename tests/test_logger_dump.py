@@ -1,0 +1,82 @@
+"""Stop-and-dump logging (paper §4.4's first collection approach)."""
+
+import pytest
+
+from repro.core.logger import DUMP_CYCLES_PER_ENTRY
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.tos.node import NodeConfig, QuantoNode
+from repro.units import seconds
+
+
+@pytest.fixture()
+def dump_run():
+    from repro.apps.blink import BlinkApp
+
+    sim = Simulator()
+    node = QuantoNode(
+        sim,
+        NodeConfig(node_id=1, logger_buffer_entries=64,
+                   logger_auto_dump=True),
+        rng_factory=RngFactory(0))
+    app = BlinkApp()
+    node.boot(app.start)
+    sim.run(until=seconds(48))
+    return sim, node, app
+
+
+def test_dump_cycles_complete_and_logging_resumes(dump_run):
+    sim, node, app = dump_run
+    assert node.logger.dumps_completed >= 2
+    assert not node.logger.stopped_on_overflow
+    # Records continued to land after the first dump.
+    assert node.logger.records_written > 64 * 2
+
+
+def test_dump_blackout_loses_events(dump_run):
+    """The mode's honest cost: events during a dump are lost."""
+    sim, node, app = dump_run
+    assert node.logger.records_dropped > 0
+
+
+def test_dump_ships_to_backchannel(dump_run):
+    sim, node, app = dump_run
+    raw = node.logger.raw_bytes()
+    # Everything recorded is either dumped or still resident.
+    assert len(raw) == node.logger.records_written * 12
+    # And the cost of shipping was paid in CPU cycles.
+    assert node.logger.dump_cycles_total >= \
+        node.logger.dumps_completed * 64 * DUMP_CYCLES_PER_ENTRY * 0.5
+
+
+def test_dumped_log_still_decodes_and_analyzes(dump_run):
+    sim, node, app = dump_run
+    entries = node.entries()
+    times = [e.time_us for e in entries]
+    assert times == sorted(times)
+    # Analysis runs; the blackout windows make attribution coarser but
+    # the LED draws remain identifiable from the surviving intervals.
+    regression = node.regression()
+    assert regression.current_ma("LED0") == pytest.approx(2.50, rel=0.1)
+
+
+def test_dump_without_scheduler_falls_back_to_stop():
+    from repro.core.logger import QuantoLogger, TYPE_POWERSTATE
+    from repro.hw.catalog import default_actual_profile
+    from repro.hw.mcu import Mcu
+    from repro.hw.power import PowerRail
+    from repro.meter.icount import ICountMeter
+
+    sim = Simulator()
+    rail = PowerRail(sim)
+    mcu = Mcu(sim, rail, default_actual_profile())
+    logger = QuantoLogger(mcu, ICountMeter(rail), buffer_entries=2,
+                          auto_dump=True, scheduler=None)
+
+    def body():
+        for i in range(4):
+            logger.record(TYPE_POWERSTATE, 1, i)
+
+    mcu.post_task(body)
+    sim.run()
+    assert logger.stopped_on_overflow

@@ -1,0 +1,132 @@
+"""The discrete-event kernel: ordering, cancellation, run semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(300, order.append, "c")
+    sim.at(100, order.append, "a")
+    sim.at(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.at(50, order.append, name)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(100, lambda: sim.after(50, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [150]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    fired = []
+    event = sim.at(100, fired.append, 1)
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending() == 0
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.at(100, fired.append, "early")
+    sim.at(5_000, fired.append, "late")
+    sim.run(until=1_000)
+    assert fired == ["early"]
+    assert sim.now == 1_000
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_includes_events_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.at(1_000, fired.append, "boundary")
+    sim.run(until=1_000)
+    assert fired == ["boundary"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.after(1, loop)
+
+    sim.after(1, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        sim.run()
+
+    sim.at(10, reenter)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.at(10, fired.append, 1)
+    sim.at(20, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for t in (10, 20, 30):
+        sim.at(t, lambda: None)
+    sim.run()
+    assert sim.events_executed == 3
+
+
+def test_call_now_runs_after_queued_events_at_same_instant():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.call_now(lambda: order.append("soon"))
+
+    sim.at(100, first)
+    sim.at(100, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "soon"]

@@ -1,0 +1,54 @@
+"""Statistical robustness: key results hold across seeds, not just at
+seed 0 (guarding against tuning-to-the-seed)."""
+
+import math
+
+import pytest
+
+from repro.units import seconds, to_mj
+
+
+@pytest.mark.slow
+def test_fp_rate_stable_across_seeds():
+    """The channel-17 false-positive rate averages near the paper's
+    17.8 % over several seeds, and channel 26 stays at zero."""
+    from repro.experiments.fig13 import run_channel
+
+    rates17 = []
+    for seed in range(4):
+        result = run_channel(17, seed=seed)
+        rates17.append(result["fp_rate"])
+        clean = run_channel(26, seed=seed)
+        assert clean["detections"] == 0, seed
+    mean = sum(rates17) / len(rates17)
+    assert 0.12 < mean < 0.24
+    # Individual seeds stay in a plausible band too.
+    assert all(0.08 < r < 0.30 for r in rates17)
+
+
+@pytest.mark.slow
+def test_blink_breakdown_stable_across_seeds():
+    """The Blink regression recovers the LED draws at every seed (the
+    pipeline has no randomness that should matter here, but the boot
+    jitter and variation plumbing must not perturb it)."""
+    from repro.experiments.common import run_blink
+
+    for seed in (1, 7, 1234):
+        node, app, sim = run_blink(seed)
+        regression = node.regression()
+        assert regression.current_ma("LED0") == pytest.approx(2.50,
+                                                              rel=0.02)
+        assert regression.current_ma("LED2") == pytest.approx(0.83,
+                                                              rel=0.02)
+
+
+@pytest.mark.slow
+def test_duty_cycle_variance_is_small():
+    """The paper quotes 2.22 +/- 0.0027 % on the clean channel: the duty
+    cycle is extremely stable.  Ours varies across windows by well under
+    a tenth of a point."""
+    from repro.experiments.fig13 import run_channel
+
+    result = run_channel(26, seed=2)
+    assert result["duty_std"] < 0.1
+    assert result["duty_pct"] == pytest.approx(2.2, abs=0.4)
