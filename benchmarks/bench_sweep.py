@@ -1,0 +1,69 @@
+"""Sweep runner: serial vs parallel wall time on a multi-seed campaign.
+
+Unlike the table/figure benches (one simulation, archived tables), this
+bench measures the *fleet* layer itself: the same 16-seed table3 campaign
+run serially and on a worker pool, asserting the results are
+byte-identical and recording the speedup under ``results/``.
+
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_sweep.py``)
+or via pytest.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.report import format_table
+from repro.sim.sweep import run_sweep
+from repro.units import seconds
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+SEEDS = range(16)
+# At least 2 workers so the pool path is always exercised, even on a
+# single-core box (where the speedup column just reads ~1.0).
+JOBS = max(2, min(4, os.cpu_count() or 1))
+OVERRIDES = {
+    # Full-length runs with the paper's noise sources on, so the sweep
+    # is both realistic work and statistically non-trivial.
+    "duration_ns": [str(seconds(48))],
+    "device_variation": ["0.02"],
+    "icount_jitter_pulses": ["1.0"],
+}
+
+
+def bench_sweep() -> str:
+    serial = run_sweep("table3", SEEDS, OVERRIDES, jobs=1)
+    parallel = run_sweep("table3", SEEDS, OVERRIDES, jobs=JOBS)
+    assert serial.digest() == parallel.digest(), \
+        "parallel sweep diverged from serial reference"
+
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    rows = [
+        ("serial", "1", f"{serial.wall_s:.3f}", "1.00"),
+        ("parallel", str(JOBS), f"{parallel.wall_s:.3f}", f"{speedup:.2f}"),
+    ]
+    led0 = parallel.metric("energy_by_pair_mj.LED0/1:Red")
+    report = "\n\n".join([
+        f"== sweep bench: table3 x {len(serial.points)} seeds ==\n"
+        f"-- digests match: {serial.digest()[:16]}",
+        format_table(("mode", "jobs", "wall (s)", "speedup"), rows,
+                     title="serial vs parallel wall time"),
+        f"E[LED0/1:Red] = {led0.mean:.2f} +/- {led0.stddev:.2f} mJ "
+        f"over {led0.n} seeds",
+    ])
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sweep_table3_timing.txt").write_text(report + "\n")
+    return report
+
+
+def test_sweep_serial_vs_parallel(capsys):
+    report = bench_sweep()
+    with capsys.disabled():
+        print()
+        print(report)
+
+
+if __name__ == "__main__":
+    print(bench_sweep())

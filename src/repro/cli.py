@@ -3,8 +3,12 @@
 Commands:
 
 * ``list`` — the available experiments;
-* ``experiment <id> [--seed N]`` — run one experiment (e.g. ``table3``,
-  ``fig13``, ``ext_deployment``) and print its rendered result;
+* ``experiment <id> [--seed N] [--set k=v ...]`` — run one experiment
+  (e.g. ``table3``, ``fig13``, ``ext_deployment``) and print its rendered
+  result;
+* ``sweep <id> [--seeds N] [--jobs J] [--set k=v1,v2 ...]`` — run an
+  experiment campaign over many seeds (and optionally a parameter grid)
+  on a worker pool, and print the aggregated fleet report;
 * ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
   full energy map (optionally the raw log dump);
 * ``validate [--seed N]`` — run Blink and lint its log.
@@ -13,22 +17,33 @@ Commands:
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 from typing import Optional, Sequence
 
-EXPERIMENT_IDS = (
-    "table1", "table2", "table3", "table4", "table5",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "ablation_weighting", "ablation_logging", "ablation_noise",
-    "ablation_proxies", "ablation_model_vs_meter",
-    "ext_collection", "ext_txpower", "ext_deployment",
-)
+from repro.errors import ExperimentParameterError, SweepError
+from repro.experiments import EXPERIMENT_IDS, load_experiment, run_experiment
+
+
+def _parse_set_args(pairs, multi_valued: bool):
+    """Turn repeated ``--set key=value[,value...]`` flags into a dict."""
+    overrides = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key or not raw:
+            raise ExperimentParameterError(
+                f"bad --set {pair!r}; expected key=value"
+                + ("[,value...]" if multi_valued else "")
+            )
+        if key in overrides:
+            raise ExperimentParameterError(f"duplicate --set key {key!r}")
+        overrides[key] = raw.split(",") if multi_valued else raw
+    return overrides
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
     for exp_id in EXPERIMENT_IDS:
-        module = importlib.import_module(f"repro.experiments.{exp_id}")
+        module = load_experiment(exp_id)
         doc = (module.__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"{exp_id:<24} {summary}")
@@ -40,8 +55,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; try: python -m repro list",
               file=sys.stderr)
         return 2
-    module = importlib.import_module(f"repro.experiments.{args.id}")
-    result = module.run(seed=args.seed)
+    overrides = _parse_set_args(args.set, multi_valued=False)
+    result = run_experiment(args.id, seed=args.seed, overrides=overrides)
+    print(result.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import run_sweep
+
+    if args.id not in EXPERIMENT_IDS:
+        print(f"unknown experiment {args.id!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    overrides = _parse_set_args(args.set, multi_valued=True)
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    result = run_sweep(args.id, seeds, overrides, jobs=args.jobs)
     print(result.render())
     return 0
 
@@ -111,6 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("id")
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override a sweepable parameter (repeatable)")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run an experiment over many seeds on a worker pool")
+    p_sweep.add_argument("id")
+    p_sweep.add_argument("--seeds", type=int, default=8,
+                         help="number of seeds (default 8)")
+    p_sweep.add_argument("--seed-base", type=int, default=0,
+                         help="first seed (default 0)")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (default 1 = serial)")
+    p_sweep.add_argument("--set", action="append", metavar="KEY=V1[,V2...]",
+                         help="sweep a parameter over values (repeatable; "
+                              "multiple values form a grid)")
 
     p_blink = sub.add_parser("blink", help="run Blink and print the map")
     p_blink.add_argument("--seconds", type=int, default=48)
@@ -130,10 +177,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
         "blink": _cmd_blink,
         "validate": _cmd_validate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ExperimentParameterError, SweepError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

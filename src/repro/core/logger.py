@@ -79,7 +79,7 @@ DUMP_CYCLES_PER_ENTRY = 1800
 DUMP_BATCH = 32
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
     """A decoded log entry with the unwrapped absolute timestamp."""
 
@@ -308,21 +308,21 @@ def decode_log(raw: bytes) -> list[LogEntry]:
             f"log length {len(raw)} is not a multiple of {ENTRY_SIZE}"
         )
     entries: list[LogEntry] = []
+    append = entries.append
     time_base = 0
     last_time = 0
     ic_base = 0
     last_ic = 0
-    for seq, offset in enumerate(range(0, len(raw), ENTRY_SIZE)):
-        entry_type, res_id, time_us, pulses, value = ENTRY_STRUCT.unpack_from(
-            raw, offset
-        )
-        if entries:
+    seq = 0
+    for entry_type, res_id, time_us, pulses, value in \
+            ENTRY_STRUCT.iter_unpack(raw):
+        if seq:
             if time_us < last_time:
                 time_base += 1 << 32
             if pulses < last_ic:
                 ic_base += 1 << 32
         last_time, last_ic = time_us, pulses
-        entries.append(
+        append(
             LogEntry(
                 type=entry_type,
                 res_id=res_id,
@@ -332,4 +332,5 @@ def decode_log(raw: bytes) -> list[LogEntry]:
                 seq=seq,
             )
         )
+        seq += 1
     return entries

@@ -33,7 +33,7 @@ from repro.core.logger import (
 from repro.errors import RegressionError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerInterval:
     """A span of constant power states across all sinks."""
 
@@ -56,7 +56,7 @@ class PowerInterval:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class ActivitySegment:
     """A span during which one device was painted with one activity."""
 
@@ -77,7 +77,7 @@ class ActivitySegment:
         return self.bound_to if self.bound_to is not None else self.label
 
 
-@dataclass
+@dataclass(slots=True)
 class MultiActivitySegment:
     """A span during which a multi-activity device served a label set."""
 
@@ -107,13 +107,19 @@ class TimelineBuilder:
         self.end_time_ns = end_time_ns or 0
         self._single_ids = set(single_res_ids or [])
         self._multi_ids = set(multi_res_ids or [])
-        # Devices not declared either way are inferred from entry types.
+        # One pass: infer undeclared devices from entry types, and index
+        # entries per device so per-device rebuilds scan only their own
+        # entries instead of the whole log (the log interleaves all
+        # devices, so this turns O(devices x entries) into O(entries)).
+        by_res: dict[int, list[LogEntry]] = {}
         for entry in self.entries:
+            by_res.setdefault(entry.res_id, []).append(entry)
             if entry.type in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
                 if entry.res_id not in self._multi_ids:
                     self._single_ids.add(entry.res_id)
             elif entry.type in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
                 self._multi_ids.add(entry.res_id)
+        self._by_res = by_res
 
     # -- power intervals ----------------------------------------------------
 
@@ -128,32 +134,56 @@ class TimelineBuilder:
         states: dict[int, int] = {}
         span_start_ns: Optional[int] = None
         span_start_pulses = 0
+        # The state vector is rebuilt only when a transition actually
+        # changed it, and equal vectors are interned to one tuple — the
+        # regression groups intervals by vector, so identical objects make
+        # that grouping (and this loop) allocation-light.
+        interned: dict[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]] = {}
+        vector: tuple[tuple[int, int], ...] = ()
+        dirty = False
+
+        def current_vector() -> tuple[tuple[int, int], ...]:
+            nonlocal vector, dirty
+            if dirty:
+                built = tuple(sorted(states.items()))
+                vector = interned.setdefault(built, built)
+                dirty = False
+            return vector
+
+        def set_state(res_id: int, value: int) -> None:
+            nonlocal dirty
+            if states.get(res_id) != value:
+                states[res_id] = value
+                dirty = True
+
         for entry in self.entries:
-            if entry.type == TYPE_BOOT:
-                states[entry.res_id] = entry.value
+            entry_type = entry.type
+            if entry_type == TYPE_BOOT:
+                set_state(entry.res_id, entry.value)
                 if span_start_ns is None:
                     span_start_ns = entry.time_ns
                     span_start_pulses = entry.icount
                 continue
-            if entry.type != TYPE_POWERSTATE:
+            if entry_type != TYPE_POWERSTATE:
                 continue
             if span_start_ns is None:
                 span_start_ns = entry.time_ns
                 span_start_pulses = entry.icount
-                states[entry.res_id] = entry.value
+                set_state(entry.res_id, entry.value)
                 continue
-            if entry.time_ns > span_start_ns:
+            time_ns = entry.time_ns
+            if time_ns > span_start_ns:
                 intervals.append(
                     PowerInterval(
                         t0_ns=span_start_ns,
-                        t1_ns=entry.time_ns,
+                        t1_ns=time_ns,
                         pulses=entry.icount - span_start_pulses,
-                        states=tuple(sorted(states.items())),
+                        states=current_vector(),
                     )
                 )
-                span_start_ns = entry.time_ns
+                span_start_ns = time_ns
                 span_start_pulses = entry.icount
-            states[entry.res_id] = entry.value
+            set_state(entry.res_id, entry.value)
         # Trailing span: energy is only measured up to the last record, so
         # the final interval ends there — time past the last record is
         # unobservable, exactly as when a real node dumps its log.
@@ -165,7 +195,7 @@ class TimelineBuilder:
                         t0_ns=span_start_ns,
                         t1_ns=last.time_ns,
                         pulses=max(last.icount - span_start_pulses, 0),
-                        states=tuple(sorted(states.items())),
+                        states=current_vector(),
                     )
                 )
         return intervals
@@ -217,9 +247,7 @@ class TimelineBuilder:
             segments.append(segment)
             unresolved.setdefault(current_label, []).append(segment)
 
-        for entry in self.entries:
-            if entry.res_id != res_id:
-                continue
+        for entry in self._by_res.get(res_id, ()):
             if entry.type not in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
                 continue
             new_label = entry.label
@@ -250,9 +278,7 @@ class TimelineBuilder:
         current: set[ActivityLabel] = set()
         start_ns = 0
         started = False
-        for entry in self.entries:
-            if entry.res_id != res_id:
-                continue
+        for entry in self._by_res.get(res_id, ()):
             if entry.type not in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
                 continue
             if started and entry.time_ns > start_ns:

@@ -44,3 +44,12 @@ class ActivityError(ReproError):
 
 class NetworkError(ReproError):
     """Raised by the radio channel / network substrate."""
+
+
+class ExperimentParameterError(ReproError):
+    """Raised when an experiment override names an unknown parameter or
+    carries a value that cannot be coerced to the parameter's type."""
+
+
+class SweepError(ReproError):
+    """Raised by the sweep runner (bad grid, worker failure, empty sweep)."""

@@ -3,9 +3,27 @@
 Every module exposes ``run(seed=0, **params) -> ExperimentResult``; the
 result carries the rendered text (the table/series the paper prints), the
 raw data, and paper-vs-measured comparisons.  The benchmark harness under
-``benchmarks/`` calls these and archives their output.
+``benchmarks/`` calls these and archives their output; the sweep runner
+(``repro.sim.sweep``) fans them out over many seeds and parameter points.
+
+``EXPERIMENT_IDS`` is the canonical registry; :func:`run_experiment`
+runs one by id with validated parameter overrides.
 """
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    EXPERIMENT_IDS,
+    ExperimentResult,
+    SweepParam,
+    experiment_params,
+    load_experiment,
+    run_experiment,
+)
 
-__all__ = ["ExperimentResult"]
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentResult",
+    "SweepParam",
+    "experiment_params",
+    "load_experiment",
+    "run_experiment",
+]

@@ -1,15 +1,39 @@
-"""Shared experiment plumbing: results, standard runs, comparisons."""
+"""Shared experiment plumbing: results, standard runs, parameter hooks.
+
+Besides the result type and the standard Blink run, this module is the
+single place where experiments become *sweepable*: :func:`run_experiment`
+loads an experiment by id, validates and coerces parameter overrides
+against the experiment's own ``run()`` signature, and stamps the applied
+parameters into the result header.  Experiments never need forking to
+accept overrides — any keyword argument of ``run()`` with an int, float,
+str, or bool default is automatically a sweepable parameter.
+"""
 
 from __future__ import annotations
 
+import importlib
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.report import format_table
+from repro.errors import ExperimentParameterError
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
 from repro.tos.node import NodeConfig, QuantoNode
 from repro.units import seconds
+
+#: Every table/figure/extension module under ``repro.experiments``.
+EXPERIMENT_IDS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "ablation_weighting", "ablation_logging", "ablation_noise",
+    "ablation_proxies", "ablation_model_vs_meter",
+    "ext_collection", "ext_txpower", "ext_deployment",
+)
+
+_TRUE_STRINGS = frozenset(("1", "true", "yes", "on"))
+_FALSE_STRINGS = frozenset(("0", "false", "no", "off"))
 
 
 @dataclass
@@ -22,9 +46,16 @@ class ExperimentResult:
     data: dict[str, Any] = field(default_factory=dict)
     comparisons: list[tuple[str, float, float]] = field(default_factory=list)
     # each comparison: (metric name, paper value, measured value)
+    params: dict[str, Any] = field(default_factory=dict)
+    # the (seed, overrides) the run was invoked with, when it went
+    # through run_experiment(); rendered in the header for provenance.
 
     def render(self) -> str:
-        parts = [f"== {self.exp_id}: {self.title} ==", self.text]
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.params:
+            joined = " ".join(f"{k}={v}" for k, v in self.params.items())
+            parts.append(f"-- params: {joined}")
+        parts.append(self.text)
         if self.comparisons:
             rows = []
             for name, paper, measured in self.comparisons:
@@ -38,6 +69,117 @@ class ExperimentResult:
                 ("metric", "paper", "measured", "ratio"), rows,
                 title="paper vs measured"))
         return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class SweepParam:
+    """One sweepable parameter of an experiment's ``run()`` signature."""
+
+    name: str
+    kind: type
+    default: Any
+
+    def parse(self, raw: Any) -> Any:
+        """Coerce a raw (usually CLI string) value to the parameter type.
+
+        Non-string values are type-checked rather than passed through, so
+        programmatic overrides get the same fail-fast guarantee as CLI
+        ones (``int`` is accepted where a ``float`` is expected; ``bool``
+        is never accepted as an ``int``).
+        """
+        if not isinstance(raw, str):
+            if self.kind is float and isinstance(raw, int) \
+                    and not isinstance(raw, bool):
+                return float(raw)
+            if isinstance(raw, self.kind) and not (
+                self.kind is int and isinstance(raw, bool)
+            ):
+                return raw
+            raise ExperimentParameterError(
+                f"parameter {self.name!r} expects {self.kind.__name__}, "
+                f"got {type(raw).__name__} {raw!r}"
+            )
+        try:
+            if self.kind is bool:
+                lowered = raw.strip().lower()
+                if lowered in _TRUE_STRINGS:
+                    return True
+                if lowered in _FALSE_STRINGS:
+                    return False
+                raise ValueError(f"not a boolean: {raw!r}")
+            if self.kind is int:
+                return int(raw, 0)  # accepts 0x… for masks and channels
+            return self.kind(raw)
+        except ValueError as exc:
+            raise ExperimentParameterError(
+                f"parameter {self.name!r} expects {self.kind.__name__}, "
+                f"got {raw!r}"
+            ) from exc
+
+
+def load_experiment(exp_id: str):
+    """Import an experiment module by id, validating the id."""
+    if exp_id not in EXPERIMENT_IDS:
+        raise ExperimentParameterError(
+            f"unknown experiment {exp_id!r}; available: "
+            + ", ".join(EXPERIMENT_IDS)
+        )
+    return importlib.import_module(f"repro.experiments.{exp_id}")
+
+
+def experiment_params(exp_id: str) -> dict[str, SweepParam]:
+    """The sweepable parameters of one experiment.
+
+    Derived from the experiment's ``run()`` signature: every keyword
+    argument except ``seed`` whose default is an int, float, str, or bool
+    is sweepable, typed by its default.  Experiments therefore opt in by
+    declaring defaults — no registration step, no forked modules.
+    """
+    module = load_experiment(exp_id)
+    params: dict[str, SweepParam] = {}
+    for name, parameter in inspect.signature(module.run).parameters.items():
+        if name == "seed" or parameter.default is inspect.Parameter.empty:
+            continue
+        default = parameter.default
+        if isinstance(default, bool):
+            kind: type = bool
+        elif isinstance(default, (int, float, str)):
+            kind = type(default)
+        else:
+            continue  # structured defaults are not sweepable from a grid
+        params[name] = SweepParam(name=name, kind=kind, default=default)
+    return params
+
+
+def run_experiment(
+    exp_id: str,
+    seed: int = 0,
+    overrides: Optional[dict[str, Any]] = None,
+) -> ExperimentResult:
+    """Run one experiment with validated parameter overrides.
+
+    ``overrides`` maps parameter names to values; string values are
+    coerced to the parameter's type (so CLI ``--set key=value`` pairs can
+    be passed through verbatim).  Unknown keys raise
+    :class:`~repro.errors.ExperimentParameterError` naming the valid ones.
+    The applied parameters are stamped into ``result.params`` and show up
+    in the rendered header.
+    """
+    module = load_experiment(exp_id)
+    params = experiment_params(exp_id)
+    kwargs: dict[str, Any] = {}
+    for key, raw in (overrides or {}).items():
+        param = params.get(key)
+        if param is None:
+            known = ", ".join(sorted(params)) or "(none)"
+            raise ExperimentParameterError(
+                f"experiment {exp_id!r} has no parameter {key!r}; "
+                f"sweepable parameters: {known}"
+            )
+        kwargs[key] = param.parse(raw)
+    result = module.run(seed=seed, **kwargs)
+    result.params = {"seed": seed, **kwargs}
+    return result
 
 
 def run_blink(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core.report import format_table
 from repro.experiments.common import ExperimentResult, run_blink
-from repro.units import to_mj, to_s
+from repro.units import seconds, to_mj, to_s
 
 PAPER_ENERGY_BY_HW = {
     "LED0": 180.71, "LED1": 161.06, "LED2": 59.84, "CPU": 0.37,
@@ -32,8 +32,28 @@ PAPER_REGRESSION_MA = {
 }
 
 
-def run(seed: int = 0) -> ExperimentResult:
-    node, app, sim = run_blink(seed)
+def run(
+    seed: int = 0,
+    duration_ns: int = seconds(48),
+    device_variation: float = 0.0,
+    icount_jitter_pulses: float = 0.0,
+    icount_gain_error: float = 0.0,
+) -> ExperimentResult:
+    """Sweepable knobs: the run length plus the paper's noise sources
+    (per-device draw variation, iCount read jitter, meter gain error).
+    With the defaults the run is noise-free and seed-independent; turn
+    any of them on and a multi-seed sweep measures how the regression's
+    coefficients and the energy breakdown spread across a fleet."""
+    node_kwargs = {}
+    if device_variation or icount_jitter_pulses or icount_gain_error:
+        from repro.hw.platform import PlatformConfig
+
+        node_kwargs["platform"] = PlatformConfig(
+            device_variation=device_variation,
+            icount_jitter_pulses=icount_jitter_pulses,
+            icount_gain_error=icount_gain_error,
+        )
+    node, app, sim = run_blink(seed, duration_ns=duration_ns, **node_kwargs)
     timeline = node.timeline()
     regression = node.regression(timeline)
     emap = node.energy_map(timeline, regression)
@@ -118,6 +138,17 @@ def run(seed: int = 0) -> ExperimentResult:
         data={
             "energy_by_hw_mj": {k: to_mj(v) for k, v in by_hw.items()},
             "energy_by_activity_mj": {k: to_mj(v) for k, v in by_act.items()},
+            # The full (component, activity) matrix, keyed "comp/act" so
+            # sweep aggregation can report mean/stddev per cell.
+            "energy_by_pair_mj": {
+                f"{component}/{activity}": to_mj(e)
+                for (component, activity), e in sorted(emap.energy_j.items())
+            },
+            "regression_ma": {
+                **{col.name: regression.current_ma(col.name)
+                   for col in regression.columns},
+                "Const.": regression.const_current_ma,
+            },
             "cpu_active_pct": cpu_active_pct,
             "accounting_error": emap.accounting_error,
         },

@@ -4,6 +4,9 @@ The kernel is deliberately tiny: a priority queue of timestamped callbacks
 with deterministic FIFO tie-breaking, plus seeded per-component random
 streams.  Everything else in the library (hardware models, the OS layer,
 the radio channel) is built as callbacks on this engine.
+
+The fleet layer lives in :mod:`repro.sim.sweep` (imported on demand — it
+pulls in the experiment stack, which this package deliberately does not).
 """
 
 from repro.sim.engine import Event, Simulator

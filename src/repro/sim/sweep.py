@@ -1,0 +1,356 @@
+"""Fleet-scale sweep runner: many seeds, many parameter points, one report.
+
+A *sweep* executes one experiment over a grid of (seed, parameter-override)
+points — serially or on a ``multiprocessing`` worker pool — and reduces the
+per-point results into a single :class:`SweepResult`:
+
+* mean / stddev / 95 % CI for every numeric quantity the experiment
+  reports (energy per (component, activity), regression coefficients,
+  model-vs-meter errors, …— anything in ``ExperimentResult.data``);
+* paper-vs-measured comparisons averaged over the fleet;
+* a per-point digest table plus one combined sweep digest.
+
+Determinism is the design center, not an afterthought:
+
+* a point is *fully* described by ``(exp_id, seed, overrides)`` — workers
+  share no state, inherit no RNG, and each run derives every random
+  stream from its own seed (see :mod:`repro.sim.rng`);
+* results are reduced in grid order regardless of which worker finished
+  first, and per-point payloads are hashed, so serial and parallel
+  execution are verifiably byte-identical (``tests/test_determinism.py``
+  proves it; the per-point digests in the report let anyone re-check);
+* aggregation uses ``math.fsum``, so reduction order can never leak into
+  the reported statistics.
+
+Grid points run via :func:`repro.experiments.run_experiment`, so override
+validation and type coercion happen once, up front, before any worker is
+forked — a bad ``--set`` key fails in milliseconds, not after a fleet ran.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.core.report import format_table
+from repro.errors import SweepError
+from repro.experiments.common import experiment_params, run_experiment
+
+#: Start method for worker processes.  ``fork`` is preferred: workers
+#: inherit the warm interpreter (no re-import cost) and since every
+#: experiment seeds itself from its point, inherited state cannot leak
+#: into results.  Platforms without ``fork`` fall back to ``spawn``.
+DEFAULT_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the campaign grid.
+
+    ``overrides`` is a sorted tuple of raw ``(key, value-string)`` pairs —
+    hashable, picklable, and parsed identically wherever the point runs.
+    """
+
+    exp_id: str
+    seed: int
+    overrides: tuple[tuple[str, str], ...] = ()
+
+    def describe(self) -> str:
+        if not self.overrides:
+            return f"seed={self.seed}"
+        joined = " ".join(f"{k}={v}" for k, v in self.overrides)
+        return f"seed={self.seed} {joined}"
+
+
+@dataclass
+class PointResult:
+    """What one grid point produced (the picklable reduction payload)."""
+
+    point: SweepPoint
+    data: dict[str, Any]
+    comparisons: list[tuple[str, float, float]]
+    digest: str  # sha256 of the rendered experiment output
+    wall_s: float
+
+    @property
+    def seed(self) -> int:
+        return self.point.seed
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean/spread of one numeric quantity across the fleet."""
+
+    name: str
+    n: int
+    mean: float
+    stddev: float  # sample stddev (ddof=1); 0 for a single point
+    ci95: float  # normal-approximation 95 % half-width of the mean
+    min: float
+    max: float
+
+
+@dataclass(frozen=True)
+class ComparisonStats:
+    """A paper-vs-measured comparison averaged over the fleet."""
+
+    name: str
+    paper: float
+    mean: float
+    stddev: float
+
+
+@dataclass
+class SweepResult:
+    """The aggregated outcome of a whole campaign."""
+
+    exp_id: str
+    points: list[PointResult]
+    jobs: int
+    wall_s: float
+    metrics: list[MetricStats] = field(default_factory=list)
+    comparisons: list[ComparisonStats] = field(default_factory=list)
+
+    @property
+    def seeds(self) -> list[int]:
+        return [point.seed for point in self.points]
+
+    @property
+    def serial_wall_s(self) -> float:
+        """Sum of per-point wall times (the serial-execution estimate)."""
+        return math.fsum(point.wall_s for point in self.points)
+
+    def digest(self) -> str:
+        """One hash over all per-point digests, in grid order."""
+        hasher = hashlib.sha256()
+        for point in self.points:
+            hasher.update(point.point.describe().encode("utf-8"))
+            hasher.update(point.digest.encode("ascii"))
+        return hasher.hexdigest()
+
+    def metric(self, name: str) -> MetricStats:
+        for stats in self.metrics:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+    def render(self) -> str:
+        mode = f"parallel x{self.jobs}" if self.jobs > 1 else "serial"
+        header = [
+            f"== sweep: {self.exp_id} over {len(self.points)} points ==",
+            f"-- mode: {mode}; wall {self.wall_s:.2f} s "
+            f"(serial estimate {self.serial_wall_s:.2f} s)",
+            f"-- sweep digest: {self.digest()}",
+        ]
+        parts = ["\n".join(header)]
+        if self.metrics:
+            rows = [
+                (stats.name, str(stats.n), f"{stats.mean:.6g}",
+                 f"{stats.stddev:.3g}", f"{stats.ci95:.3g}",
+                 f"{stats.min:.6g}", f"{stats.max:.6g}")
+                for stats in self.metrics
+            ]
+            parts.append(format_table(
+                ("metric", "n", "mean", "stddev", "ci95", "min", "max"),
+                rows, title="aggregate metrics"))
+        if self.comparisons:
+            rows = []
+            for comp in self.comparisons:
+                ratio = f"{comp.mean / comp.paper:.3f}" if comp.paper else "-"
+                rows.append((comp.name, f"{comp.paper:g}",
+                             f"{comp.mean:.4g}", f"{comp.stddev:.3g}", ratio))
+            parts.append(format_table(
+                ("metric", "paper", "mean", "stddev", "ratio"), rows,
+                title="paper vs measured (fleet mean)"))
+        rows = [
+            (point.point.describe(), point.digest[:16],
+             f"{point.wall_s:.3f}")
+            for point in self.points
+        ]
+        parts.append(format_table(
+            ("point", "digest", "wall (s)"), rows, title="per-point digests"))
+        return "\n\n".join(parts)
+
+
+# -- grid -----------------------------------------------------------------
+
+
+def expand_grid(
+    exp_id: str,
+    seeds: Iterable[int],
+    overrides: Optional[Mapping[str, Sequence[str]]] = None,
+) -> list[SweepPoint]:
+    """Cross seeds with every combination of override values.
+
+    ``overrides`` maps parameter name to the list of values it sweeps
+    over.  Points come out in deterministic order: seed-major, then the
+    cartesian product of override values in key order.  Keys and values
+    are validated against the experiment's parameters before anything
+    runs.
+    """
+    params = experiment_params(exp_id)
+    overrides = overrides or {}
+    for key, values in overrides.items():
+        param = params.get(key)
+        if param is None:
+            known = ", ".join(sorted(params)) or "(none)"
+            raise SweepError(
+                f"experiment {exp_id!r} has no parameter {key!r}; "
+                f"sweepable parameters: {known}"
+            )
+        if not values:
+            raise SweepError(f"parameter {key!r} has no values to sweep")
+        for value in values:
+            param.parse(value)  # fail fast on a bad grid, pre-fork
+
+    combos: list[tuple[tuple[str, str], ...]] = [()]
+    for key in sorted(overrides):
+        combos = [
+            combo + ((key, str(value)),)
+            for combo in combos
+            for value in overrides[key]
+        ]
+    seeds = list(seeds)
+    if not seeds:
+        raise SweepError("a sweep needs at least one seed")
+    return [
+        SweepPoint(exp_id=exp_id, seed=int(seed), overrides=combo)
+        for seed in seeds
+        for combo in combos
+    ]
+
+
+# -- execution ------------------------------------------------------------
+
+
+def run_point(point: SweepPoint) -> PointResult:
+    """Execute one grid point (the worker function; must stay module-level
+    so it pickles for the pool)."""
+    start = time.perf_counter()
+    result = run_experiment(
+        point.exp_id, seed=point.seed, overrides=dict(point.overrides)
+    )
+    text = result.render()
+    return PointResult(
+        point=point,
+        data=result.data,
+        comparisons=list(result.comparisons),
+        digest=hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def run_sweep(
+    exp_id: str,
+    seeds: Iterable[int],
+    overrides: Optional[Mapping[str, Sequence[str]]] = None,
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+) -> SweepResult:
+    """Run a campaign and aggregate it.
+
+    ``jobs <= 1`` runs in-process (the serial reference); ``jobs > 1``
+    fans points out to a worker pool.  Either way the per-point payloads
+    are identical — the pool only changes wall time.
+    """
+    points = expand_grid(exp_id, seeds, overrides)
+    start = time.perf_counter()
+    # jobs records how the campaign actually ran (for the provenance
+    # header): the pool is never wider than the grid, and a single-point
+    # or jobs<=1 campaign runs serially in-process.
+    jobs = max(1, min(jobs, len(points)))
+    if jobs == 1:
+        results = [run_point(point) for point in points]
+    else:
+        context = multiprocessing.get_context(
+            start_method or DEFAULT_START_METHOD
+        )
+        with context.Pool(processes=jobs) as pool:
+            # chunksize=1: points can have very uneven durations (long
+            # seeds, heavy override combos); fine-grained dispatch keeps
+            # the fleet busy.  map() preserves grid order on collect.
+            results = pool.map(run_point, points, chunksize=1)
+    wall_s = time.perf_counter() - start
+    sweep = SweepResult(
+        exp_id=exp_id, points=results, jobs=jobs, wall_s=wall_s,
+    )
+    sweep.metrics = aggregate_metrics(results)
+    sweep.comparisons = aggregate_comparisons(results)
+    return sweep
+
+
+# -- aggregation ----------------------------------------------------------
+
+
+def numeric_leaves(data: Mapping[str, Any], prefix: str = "") -> dict[str, float]:
+    """Flatten nested dicts of numbers into dotted-path leaves.
+
+    Non-numeric leaves (strings, arrays, objects) are skipped — they are
+    per-run artifacts, not fleet statistics.
+    """
+    leaves: dict[str, float] = {}
+    for key, value in data.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            leaves[path] = float(value)
+        elif isinstance(value, Mapping):
+            leaves.update(numeric_leaves(value, prefix=f"{path}."))
+    return leaves
+
+
+def _stats(name: str, values: Sequence[float]) -> MetricStats:
+    n = len(values)
+    mean = math.fsum(values) / n
+    if n > 1:
+        variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+        stddev = math.sqrt(variance)
+        ci95 = 1.96 * stddev / math.sqrt(n)
+    else:
+        stddev = 0.0
+        ci95 = 0.0
+    return MetricStats(
+        name=name, n=n, mean=mean, stddev=stddev, ci95=ci95,
+        min=min(values), max=max(values),
+    )
+
+
+def aggregate_metrics(results: Sequence[PointResult]) -> list[MetricStats]:
+    """Mean/stddev/CI for every numeric leaf present in any point."""
+    values: dict[str, list[float]] = {}
+    for result in results:
+        for name, value in numeric_leaves(result.data).items():
+            values.setdefault(name, []).append(value)
+    return [_stats(name, values[name]) for name in sorted(values)]
+
+
+def aggregate_comparisons(
+    results: Sequence[PointResult],
+) -> list[ComparisonStats]:
+    """Fleet means of the paper-vs-measured comparisons, in the order the
+    experiment reports them."""
+    order: list[str] = []
+    paper_values: dict[str, float] = {}
+    measured: dict[str, list[float]] = {}
+    for result in results:
+        for name, paper, value in result.comparisons:
+            if name not in measured:
+                order.append(name)
+                paper_values[name] = paper
+                measured[name] = []
+            measured[name].append(value)
+    stats = []
+    for name in order:
+        s = _stats(name, measured[name])
+        stats.append(ComparisonStats(
+            name=name, paper=paper_values[name],
+            mean=s.mean, stddev=s.stddev,
+        ))
+    return stats

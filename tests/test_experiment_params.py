@@ -1,0 +1,92 @@
+"""The parameter-override hooks in ``experiments/common.py``.
+
+Experiments become sweepable through their ``run()`` signatures alone;
+these tests pin the contract: introspection finds the right parameters,
+unknown keys fail with a clear error, string values coerce by type, and
+the applied overrides are visible in the rendered result header.
+"""
+
+import pytest
+
+from repro.errors import ExperimentParameterError
+from repro.experiments import (
+    EXPERIMENT_IDS,
+    experiment_params,
+    load_experiment,
+    run_experiment,
+)
+from repro.units import seconds
+
+
+def test_table3_exposes_duration_and_noise_knobs():
+    params = experiment_params("table3")
+    assert params["duration_ns"].kind is int
+    assert params["duration_ns"].default == seconds(48)
+    assert params["device_variation"].kind is float
+    assert "seed" not in params  # seed is the grid axis, not a parameter
+
+
+def test_every_experiment_introspects_cleanly():
+    for exp_id in EXPERIMENT_IDS:
+        for name, param in experiment_params(exp_id).items():
+            assert param.kind in (int, float, str, bool), (exp_id, name)
+
+
+def test_unknown_key_rejected_with_clear_error():
+    with pytest.raises(ExperimentParameterError) as excinfo:
+        run_experiment("table3", overrides={"warp_factor": "9"})
+    message = str(excinfo.value)
+    assert "warp_factor" in message
+    assert "duration_ns" in message  # the error names the valid keys
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ExperimentParameterError) as excinfo:
+        load_experiment("table99")
+    assert "table99" in str(excinfo.value)
+
+
+def test_bad_value_rejected_with_type_in_error():
+    with pytest.raises(ExperimentParameterError) as excinfo:
+        run_experiment("table3", overrides={"duration_ns": "soon"})
+    message = str(excinfo.value)
+    assert "duration_ns" in message
+    assert "int" in message
+
+
+def test_override_visible_in_rendered_header():
+    result = run_experiment(
+        "table3", seed=3, overrides={"duration_ns": str(seconds(8))})
+    header = result.render().splitlines()[:2]
+    assert header[0].startswith("== table3:")
+    assert "params:" in header[1]
+    assert "seed=3" in header[1]
+    assert f"duration_ns={seconds(8)}" in header[1]
+
+
+def test_string_values_coerced_to_parameter_types():
+    result = run_experiment("table3", overrides={
+        "duration_ns": str(seconds(4)),
+        "device_variation": "0.01",
+    })
+    assert result.params["duration_ns"] == seconds(4)
+    assert isinstance(result.params["duration_ns"], int)
+    assert result.params["device_variation"] == pytest.approx(0.01)
+
+
+def test_typed_values_pass_through_unparsed():
+    result = run_experiment("table3", overrides={"duration_ns": seconds(4)})
+    assert result.params["duration_ns"] == seconds(4)
+
+
+def test_int_parameters_accept_hex_strings():
+    params = experiment_params("table3")
+    assert params["duration_ns"].parse("0x10") == 16
+
+
+def test_direct_run_keeps_clean_header():
+    # Experiments invoked without the hook carry no params stamp, so the
+    # seed-state renders (benchmarks, archived goldens) are unchanged.
+    module = load_experiment("table1")
+    result = module.run()
+    assert "params:" not in result.render().splitlines()[1]
