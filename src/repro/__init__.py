@@ -38,14 +38,19 @@ from repro.sim.rng import RngFactory
 from repro.core.labels import ActivityLabel, ActivityRegistry
 from repro.core.activity import MultiActivityDevice, SingleActivityDevice
 from repro.core.powerstate import PowerStateTracker, PowerStateVar
-from repro.core.logger import LogEntry, QuantoLogger, decode_log
+from repro.core.logger import LogEntry, QuantoLogger, decode_log, iter_entries
 from repro.core.regression import (
     RegressionResult,
     SinkColumn,
     solve_breakdown,
 )
-from repro.core.timeline import TimelineBuilder
-from repro.core.accounting import EnergyMap, build_energy_map
+from repro.core.timeline import TimelineBuilder, TimelineStream
+from repro.core.accounting import (
+    EnergyAccumulator,
+    EnergyMap,
+    build_energy_map,
+    stream_energy_map,
+)
 from repro.core.counters import CounterAccountant
 from repro.core.netmerge import NetworkEnergyReport, merge_energy_maps
 from repro.hw.platform import HydrowatchPlatform, PlatformConfig
@@ -66,12 +71,16 @@ __all__ = [
     "QuantoLogger",
     "LogEntry",
     "decode_log",
+    "iter_entries",
     "SinkColumn",
     "RegressionResult",
     "solve_breakdown",
     "TimelineBuilder",
+    "TimelineStream",
     "EnergyMap",
     "build_energy_map",
+    "stream_energy_map",
+    "EnergyAccumulator",
     "CounterAccountant",
     "NetworkEnergyReport",
     "merge_energy_maps",

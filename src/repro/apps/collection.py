@@ -133,3 +133,16 @@ def build_line_topology(network, node_ids, root_id, **app_kwargs):
             is_root=is_root, **app_kwargs)
         previous = node_id
     return apps
+
+
+def build_star_topology(network, node_ids, root_id, **app_kwargs):
+    """Helper: a star topology — every non-root node sends directly to
+    the root (single-hop; no forwarding, so all of each origin's remote
+    cost lands on the root).  Returns {node_id: CollectionApp}."""
+    apps = {}
+    for node_id in node_ids:
+        is_root = node_id == root_id
+        apps[node_id] = CollectionApp(
+            parent_id=None if is_root else root_id,
+            is_root=is_root, **app_kwargs)
+    return apps

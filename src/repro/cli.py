@@ -6,9 +6,11 @@ Commands:
 * ``experiment <id> [--seed N] [--set k=v ...]`` — run one experiment
   (e.g. ``table3``, ``fig13``, ``ext_deployment``) and print its rendered
   result;
-* ``sweep <id> [--seeds N] [--jobs J] [--set k=v1,v2 ...]`` — run an
-  experiment campaign over many seeds (and optionally a parameter grid)
-  on a worker pool, and print the aggregated fleet report;
+* ``sweep <id> [--seeds N] [--jobs J] [--set k=v1,v2 ...] [--cache-dir D]``
+  — run an experiment campaign over many seeds (and optionally a
+  parameter grid) on a worker pool, folding results into streaming
+  aggregates; with a cache directory, already-simulated points are
+  reused and only new grid points run;
 * ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
   full energy map (optionally the raw log dump);
 * ``validate [--seed N]`` — run Blink and lint its log.
@@ -62,6 +64,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from repro.sim.sweep import run_sweep
 
     if args.id not in EXPERIMENT_IDS:
@@ -71,9 +75,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("--seeds must be at least 1", file=sys.stderr)
         return 2
+    if args.jobs < 0:
+        print("--jobs must be 0 (auto) or a worker count", file=sys.stderr)
+        return 2
     overrides = _parse_set_args(args.set, multi_valued=True)
     seeds = range(args.seed_base, args.seed_base + args.seeds)
-    result = run_sweep(args.id, seeds, overrides, jobs=args.jobs)
+    cache_dir = args.cache_dir
+    if cache_dir is None and not args.no_cache:
+        cache_dir = os.environ.get("REPRO_SWEEP_CACHE") or None
+    if args.no_cache:
+        cache_dir = None
+    result = run_sweep(args.id, seeds, overrides, jobs=args.jobs,
+                       cache_dir=cache_dir)
     print(result.render())
     return 0
 
@@ -154,10 +167,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seed-base", type=int, default=0,
                          help="first seed (default 0)")
     p_sweep.add_argument("--jobs", type=int, default=1,
-                         help="worker processes (default 1 = serial)")
+                         help="worker processes (default 1 = serial; "
+                              "0 = auto-detect the CPU count)")
     p_sweep.add_argument("--set", action="append", metavar="KEY=V1[,V2...]",
                          help="sweep a parameter over values (repeatable; "
                               "multiple values form a grid)")
+    p_sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache per-point results on disk, keyed by "
+                              "(source fingerprint, experiment, seed, "
+                              "overrides); re-running an overlapping sweep "
+                              "simulates only the new points (default: "
+                              "$REPRO_SWEEP_CACHE if set, else no cache)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache even if "
+                              "REPRO_SWEEP_CACHE is set")
 
     p_blink = sub.add_parser("blink", help="run Blink and print the map")
     p_blink.add_argument("--seconds", type=int, default=48)

@@ -25,10 +25,21 @@
 from repro.core.labels import ActivityLabel, ActivityRegistry, IDLE_ID
 from repro.core.activity import MultiActivityDevice, SingleActivityDevice
 from repro.core.powerstate import PowerStateTracker, PowerStateVar
-from repro.core.logger import LogEntry, QuantoLogger
+from repro.core.logger import LogEntry, QuantoLogger, decode_log, iter_entries
 from repro.core.regression import RegressionResult, SinkColumn, solve_breakdown
-from repro.core.timeline import ActivitySegment, PowerInterval, TimelineBuilder
-from repro.core.accounting import EnergyMap, build_energy_map
+from repro.core.timeline import (
+    ActivitySegment,
+    MultiActivitySegment,
+    PowerInterval,
+    TimelineBuilder,
+    TimelineStream,
+)
+from repro.core.accounting import (
+    EnergyAccumulator,
+    EnergyMap,
+    build_energy_map,
+    stream_energy_map,
+)
 from repro.core.counters import CounterAccountant
 
 __all__ = [
@@ -41,13 +52,19 @@ __all__ = [
     "PowerStateTracker",
     "LogEntry",
     "QuantoLogger",
+    "decode_log",
+    "iter_entries",
     "SinkColumn",
     "RegressionResult",
     "solve_breakdown",
     "TimelineBuilder",
+    "TimelineStream",
     "PowerInterval",
     "ActivitySegment",
+    "MultiActivitySegment",
     "EnergyMap",
+    "EnergyAccumulator",
     "build_energy_map",
+    "stream_energy_map",
     "CounterAccountant",
 ]

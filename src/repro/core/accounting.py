@@ -1,6 +1,6 @@
 """The energy map: where the joules have gone (paper Table 3).
 
-``build_energy_map`` merges the three offline products:
+Accounting merges the three offline products:
 
 * power intervals (who was in which power state, when, and the metered
   aggregate energy),
@@ -16,6 +16,25 @@ into per-(component, activity) time and energy totals.  Policies:
   activities present (the paper's stated default policy; a proportional
   hook exists for experimentation).
 
+The accounting core is :class:`EnergyAccumulator`, a streaming consumer:
+it owns a :class:`~repro.core.timeline.TimelineStream`, folds every power
+interval into the :class:`EnergyMap` the moment the interval closes, and
+consumes activity segments as the intervals sweep past them — so the
+whole log → timeline → accounting pipeline runs in one pass with state
+bounded by the number of *open* spans, not the log length.
+
+One policy is inherently retrospective: with ``fold_proxies=True`` a
+proxy segment's attribution can change arbitrarily late (a bind reaches
+back over every unresolved segment of its label), so the fold path
+records compact per-interval cover ops and resolves activity names only
+at :meth:`EnergyAccumulator.finish` — replayed in interval order, which
+keeps the result byte-identical to the batch computation.  The
+``fold_proxies=False`` path needs no deferral and runs fully bounded.
+
+:func:`build_energy_map` is the batch wrapper: it re-feeds a
+:class:`~repro.core.timeline.TimelineBuilder`'s entries through an
+accumulator, so both paths share one accounting implementation.
+
 The map also carries the metered total so callers can verify that the
 reconstruction matches the measurement (the paper reports 0.004 % for
 Blink).
@@ -23,6 +42,7 @@ Blink).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -33,6 +53,7 @@ from repro.core.timeline import (
     MultiActivitySegment,
     PowerInterval,
     TimelineBuilder,
+    TimelineStream,
 )
 from repro.errors import RegressionError
 
@@ -40,6 +61,46 @@ from repro.errors import RegressionError
 CONST_KEY = "Const."
 #: Pseudo-activity for devices with no activity instrumentation.
 UNTRACKED_KEY = "(untracked)"
+
+
+def _overlapping(spans, t0: int, t1: int):
+    """Yield ``(span, overlap_ns)`` for time-ordered spans intersecting
+    the window [t0, t1) — the one clamp loop every cover path shares.
+    Stops at the first span starting past the window."""
+    for span in spans:
+        s0 = span.t0_ns
+        if s0 >= t1:
+            break
+        s1 = span.t1_ns
+        lo = s0 if s0 > t0 else t0
+        hi = s1 if s1 < t1 else t1
+        if hi > lo:
+            yield span, hi - lo
+
+
+def _scan_cover(
+    segments: Sequence,
+    start: int,
+    t0: int,
+    t1: int,
+) -> tuple[list[tuple], int, int]:
+    """How [t0,t1) divides among a finished, time-ordered span list
+    (single- or multi-activity segments alike).
+
+    Successive calls pass non-decreasing windows, so the scan starts at
+    ``start`` (the cursor returned by the previous call) and stops at
+    the first segment past the window — amortised O(segments) over a
+    run.  Returns ``(shares, covered_ns, cursor)``.
+    """
+    n = len(segments)
+    i = start
+    while i < n and segments[i].t1_ns <= t0:
+        i += 1
+    cursor = i
+    shares = list(_overlapping(
+        (segments[j] for j in range(cursor, n)), t0, t1))
+    covered = sum(overlap for _, overlap in shares)
+    return shares, covered, cursor
 
 
 @dataclass
@@ -104,96 +165,463 @@ class EnergyMap:
             / self.metered_energy_j
 
 
-def _segment_cover(
-    segments: Sequence[ActivitySegment],
-    start: int,
-    t0: int,
-    t1: int,
-    fold_proxies: bool,
-    registry: ActivityRegistry,
-    idle_name: str,
-) -> tuple[dict[str, int], int]:
-    """How [t0,t1) divides among activity names for one single device.
+class EnergyAccumulator:
+    """Streaming accounting: fold a log's entries straight into an
+    :class:`EnergyMap`.
 
-    ``segments`` are time-ordered and non-overlapping, and successive
-    calls pass non-decreasing windows, so the scan starts at ``start``
-    (the cursor returned by the previous call) and stops at the first
-    segment past the window — amortised O(segments) over a whole run
-    instead of O(intervals x segments).  Returns ``(shares, cursor)``.
+    Feed decoded entries in log order (:meth:`feed`), then call
+    :meth:`finish` with the analysis end time.  Internally a
+    :class:`TimelineStream` closes intervals and segments; each closed
+    interval is covered against the segments that overlap it — buffered
+    closed segments plus each device's still-open span — and the
+    interval's joules are charged immediately (``fold_proxies=False``)
+    or recorded as a compact cover op for name resolution at finish
+    (``fold_proxies=True``; see the module docstring for why folding is
+    inherently retrospective).
+
+    Declare the instrumented devices up front (``single_res_ids`` /
+    ``multi_res_ids``) when streaming a raw log: inference from entry
+    types works, but a device whose first activity record appears
+    mid-log would be charged ``(untracked)`` for earlier intervals,
+    where the batch path (which infers over the whole log) charges Idle.
+    Node logs declare their devices (`QuantoNode.timeline` does), so the
+    two paths agree byte-for-byte on every experiment.
+
+    ``end_time_ns`` (the analysis window end) is taken at construction
+    because it matters *during* the feed: a cover computed when an
+    interval closes is complete only while the interval ends inside the
+    window.  Records can legitimately overshoot the window end — the
+    logger stamps cycle-advanced virtual time, so a run's last CPU job
+    writes records slightly past ``sim.now`` — and segments in that
+    overshoot close early (at the window end) or never open at all.
+    Intervals past the window end therefore defer their covers and
+    re-cover from the retained segment tail at :meth:`finish`, exactly
+    as the batch path sees them.  With ``end_time_ns=None`` the window
+    is the last record, which no interval can outrun.
     """
-    shares: dict[str, int] = {}
-    covered = 0
-    n = len(segments)
-    i = start
-    while i < n and segments[i].t1_ns <= t0:
-        i += 1
-    cursor = i
-    while i < n:
-        segment = segments[i]
-        s0 = segment.t0_ns
-        if s0 >= t1:
-            break
-        s1 = segment.t1_ns
-        lo = s0 if s0 > t0 else t0
-        hi = s1 if s1 < t1 else t1
-        overlap = hi - lo
-        if overlap > 0:
-            label = segment.effective_label if fold_proxies else segment.label
-            name = registry.name_of(label)
-            shares[name] = shares.get(name, 0) + overlap
-            covered += overlap
-        i += 1
-    remainder = (t1 - t0) - covered
-    if remainder > 0:
-        shares[idle_name] = shares.get(idle_name, 0) + remainder
-    return shares, cursor
 
+    def __init__(
+        self,
+        regression: RegressionResult,
+        registry: ActivityRegistry,
+        component_names: dict[int, str],
+        energy_per_pulse_j: float,
+        fold_proxies: bool = False,
+        idle_name: str = "Idle",
+        single_res_ids: Optional[Iterable[int]] = None,
+        multi_res_ids: Optional[Iterable[int]] = None,
+        end_time_ns: Optional[int] = None,
+    ) -> None:
+        self.registry = registry
+        self.component_names = component_names
+        self.energy_per_pulse_j = energy_per_pulse_j
+        self.fold_proxies = fold_proxies
+        self.idle_name = idle_name
+        self.end_time_ns = end_time_ns
+        self.regression = regression
+        # Column lookup: which (res_id, value) pairs carry estimated power.
+        # (A missing regression only errors if an interval actually needs
+        # it — an empty log fails first with "no power intervals".)
+        self._column_power: dict[tuple[int, int], tuple[str, float]] = {}
+        for column in (regression.columns if regression is not None else ()):
+            self._column_power[(column.res_id, column.value)] = (
+                column.name,
+                regression.power_w[column.name],
+            )
+        # Bind tracking is only needed when proxy usage is folded onto
+        # the bound activity; without it the stream stays strictly
+        # bounded (no unresolved-segment retention).
+        self.stream = TimelineStream(
+            single_res_ids=single_res_ids,
+            multi_res_ids=multi_res_ids,
+            track_binds=fold_proxies,
+            on_interval=self._on_interval,
+            on_segment=self._on_segment,
+            on_multi_segment=self._on_multi_segment,
+        )
+        self.map = EnergyMap()
+        # Closed-but-unconsumed segments per device; intervals sweep
+        # forward in time, so each deque is drained from the front as
+        # the intervals pass (the streaming form of the batch cursors).
+        self._pending_single: dict[int, deque[ActivitySegment]] = {}
+        self._pending_multi: dict[int, deque[MultiActivitySegment]] = {}
+        # Deferred cover ops (fold mode only), replayed at finish in
+        # interval order.
+        self._ops: list[tuple] = []
+        # Time breakdown accumulators: per-device name->ns in
+        # first-occurrence order (non-fold), or retained segments whose
+        # effective label is resolved at finish (fold).
+        self._time_single: dict[int, dict[str, int]] = {}
+        self._time_single_segments: dict[int, list[ActivitySegment]] = {}
+        self._time_multi: dict[int, dict[str, int]] = {}
+        self._intervals_seen = 0
+        self._pulses_total = 0
+        self._span_t0_ns = 0
+        self._last_interval_t1_ns = 0
+        # Flips once the intervals outrun the analysis window (see the
+        # class docstring); from then on covers defer to finish and the
+        # segment deques are retained instead of consumed.
+        self._tail_mode = False
+        self._pending_count = 0
+        self._finished = False
+        self.peak_pending_segments = 0
 
-def _multi_cover(
-    segments: Sequence[MultiActivitySegment],
-    start: int,
-    t0: int,
-    t1: int,
-    registry: ActivityRegistry,
-    idle_name: str,
-) -> tuple[dict[str, float], int]:
-    """Equal-split shares (fractions of [t0,t1)) for a multi device.
+    # -- stream plumbing ---------------------------------------------------
 
-    Same cursor contract as :func:`_segment_cover`.
-    """
-    shares: dict[str, float] = {}
-    window = t1 - t0
-    covered = 0
-    n = len(segments)
-    i = start
-    while i < n and segments[i].t1_ns <= t0:
-        i += 1
-    cursor = i
-    while i < n:
-        segment = segments[i]
-        s0 = segment.t0_ns
-        if s0 >= t1:
-            break
-        s1 = segment.t1_ns
-        lo = s0 if s0 > t0 else t0
-        hi = s1 if s1 < t1 else t1
-        overlap = hi - lo
-        if overlap > 0:
+    def feed(self, entry) -> None:
+        self.stream.feed(entry)
+
+    def feed_all(self, entries: Iterable) -> EnergyMap:
+        for entry in entries:
+            self.stream.feed(entry)
+        return self.finish()
+
+    def _on_segment(self, segment: ActivitySegment) -> None:
+        res_id = segment.res_id
+        queue = self._pending_single.get(res_id)
+        if queue is None:
+            queue = self._pending_single[res_id] = deque()
+        queue.append(segment)
+        self._note_pending(1)
+        # Time breakdown (Table 3a): with fixed labels the per-name sums
+        # accumulate as segments close; folded labels resolve at finish.
+        if self.fold_proxies:
+            self._time_single_segments.setdefault(res_id, []).append(segment)
+        else:
+            per_name = self._time_single.get(res_id)
+            if per_name is None:
+                per_name = self._time_single[res_id] = {}
+            name = self.registry.name_of(segment.label)
+            per_name[name] = per_name.get(name, 0) + segment.dt_ns
+
+    def _on_multi_segment(self, segment: MultiActivitySegment) -> None:
+        res_id = segment.res_id
+        queue = self._pending_multi.get(res_id)
+        if queue is None:
+            queue = self._pending_multi[res_id] = deque()
+        queue.append(segment)
+        self._note_pending(1)
+        per_name = self._time_multi.get(res_id)
+        if per_name is None:
+            per_name = self._time_multi[res_id] = {}
+        if not segment.labels:
+            per_name[self.idle_name] = (
+                per_name.get(self.idle_name, 0) + segment.dt_ns
+            )
+            return
+        split = segment.dt_ns // len(segment.labels)
+        for label in segment.labels:
+            name = self.registry.name_of(label)
+            per_name[name] = per_name.get(name, 0) + split
+
+    def _note_pending(self, delta: int) -> None:
+        """O(1) running count of buffered segments (peak is the
+        bounded-memory diagnostic the tests pin)."""
+        self._pending_count += delta
+        if self._pending_count > self.peak_pending_segments:
+            self.peak_pending_segments = self._pending_count
+
+    # -- interval covers ----------------------------------------------------
+
+    def _single_cover(
+        self, res_id: int, t0: int, t1: int,
+    ) -> tuple[list[tuple[ActivitySegment, int]], int]:
+        """Which segments of one device cover [t0, t1), with overlaps.
+
+        Consumes buffered closed segments that the window has fully
+        passed, scans the rest, and truncates the device's open span at
+        the window end (it stays open at least that long — entries
+        arrive in time order).  Returns ``(shares, idle_remainder_ns)``.
+        """
+        queue = self._pending_single.get(res_id)
+        shares: list[tuple[ActivitySegment, int]] = []
+        if queue:
+            while queue and queue[0].t1_ns <= t0:
+                queue.popleft()
+                self._note_pending(-1)
+            shares.extend(_overlapping(queue, t0, t1))
+        # The open span has a provisional t1; it reaches at least the
+        # window end, so clamp it by hand.
+        tracker = self.stream.single_tracker(res_id)
+        open_segment = tracker.open_segment if tracker is not None else None
+        if open_segment is not None and open_segment.t0_ns < t1:
+            lo = open_segment.t0_ns if open_segment.t0_ns > t0 else t0
+            if t1 > lo:
+                shares.append((open_segment, t1 - lo))
+        covered = sum(overlap for _, overlap in shares)
+        return shares, (t1 - t0) - covered
+
+    def _multi_shares(self, pairs, t0: int, t1: int) -> dict[str, float]:
+        """Equal-split name fractions of [t0,t1) from ``(segment,
+        overlap)`` pairs; the uncovered remainder is idle.  Multi labels
+        never rebind, so names resolve immediately."""
+        shares: dict[str, float] = {}
+        window = t1 - t0
+        covered = 0
+        for segment, overlap in pairs:
             covered += overlap
             if not segment.labels:
-                shares[idle_name] = (
-                    shares.get(idle_name, 0.0) + overlap / window
+                shares[self.idle_name] = (
+                    shares.get(self.idle_name, 0.0) + overlap / window
                 )
             else:
                 split = overlap / window / len(segment.labels)
                 for label in segment.labels:
-                    name = registry.name_of(label)
+                    name = self.registry.name_of(label)
                     shares[name] = shares.get(name, 0.0) + split
-        i += 1
-    remainder = window - covered
-    if remainder > 0:
-        shares[idle_name] = shares.get(idle_name, 0.0) + remainder / window
-    return shares, cursor
+        remainder = window - covered
+        if remainder > 0:
+            shares[self.idle_name] = (
+                shares.get(self.idle_name, 0.0) + remainder / window
+            )
+        return shares
+
+    def _multi_cover(self, res_id: int, t0: int, t1: int) -> dict[str, float]:
+        """Streaming multi-device cover: buffered closed segments plus
+        the open span (snapshotted and clamped at the window end)."""
+        queue = self._pending_multi.get(res_id)
+        spans: list[MultiActivitySegment] = []
+        if queue:
+            while queue and queue[0].t1_ns <= t0:
+                queue.popleft()
+                self._note_pending(-1)
+            spans.extend(queue)
+        tracker = self.stream.multi_tracker(res_id)
+        if tracker is not None and tracker.started \
+                and tracker.open_start_ns < t1:
+            spans.append(MultiActivitySegment(
+                res_id=res_id, t0_ns=tracker.open_start_ns, t1_ns=t1,
+                labels=tracker.current_labels()))
+        return self._multi_shares(_overlapping(spans, t0, t1), t0, t1)
+
+    def _multi_cover_list(
+        self,
+        segments: Sequence[MultiActivitySegment],
+        start: int,
+        t0: int,
+        t1: int,
+    ) -> tuple[dict[str, float], int]:
+        """Batch-style multi cover over a finished segment list (tail
+        replay): same cursor contract as :func:`_scan_cover`."""
+        pairs, _covered, cursor = _scan_cover(segments, start, t0, t1)
+        return self._multi_shares(pairs, t0, t1), cursor
+
+    def _apply_single(
+        self,
+        component: str,
+        joules: float,
+        shares: Sequence[tuple[ActivitySegment, int]],
+        idle_ns: int,
+    ) -> None:
+        """Group per-segment overlaps by activity name and charge them —
+        the one place single-device joules are attributed, eagerly or on
+        replay (so both orders produce identical arithmetic)."""
+        named: dict[str, int] = {}
+        for segment, overlap in shares:
+            label = segment.effective_label if self.fold_proxies \
+                else segment.label
+            name = self.registry.name_of(label)
+            named[name] = named.get(name, 0) + overlap
+        if idle_ns > 0:
+            named[self.idle_name] = named.get(self.idle_name, 0) + idle_ns
+        total_share = sum(named.values()) or 1
+        for activity, share_ns in named.items():
+            self.map.add_energy(component, activity,
+                                joules * (share_ns / total_share))
+
+    def _on_interval(self, interval: PowerInterval) -> None:
+        if self._intervals_seen == 0:
+            self._span_t0_ns = interval.t0_ns
+        self._intervals_seen += 1
+        self._pulses_total += interval.pulses
+        self._last_interval_t1_ns = interval.t1_ns
+        dt_ns = interval.dt_ns
+        if dt_ns <= 0:
+            return
+        if self.regression is None:
+            raise RegressionError(
+                "accounting needs a regression once power intervals exist"
+            )
+        if not self._tail_mode and self.end_time_ns is not None \
+                and interval.t1_ns > self.end_time_ns:
+            # The intervals have outrun the analysis window: covers are
+            # no longer complete at close time (a segment open now may
+            # close early, at the window end; successors may still open
+            # inside this interval).  Interval ends are monotone, so
+            # every remaining interval defers to finish.
+            self._tail_mode = True
+        tail = self._tail_mode
+        dt_s = dt_ns * 1e-9
+        fold = self.fold_proxies
+        # Constant draw: the baseline floor, charged to Const.
+        const_j = self.regression.const_power_w * dt_s
+        if fold or tail:
+            self._ops.append(("const", const_j))
+        else:
+            self.map.add_energy(CONST_KEY, CONST_KEY, const_j)
+        for res_id, value in interval.states:
+            entry = self._column_power.get((res_id, value))
+            if entry is None:
+                continue  # baseline state of this sink: no marginal draw
+            column_name, power_w = entry
+            component = self.component_names.get(res_id, column_name)
+            joules = power_w * dt_s
+            if self.stream.single_tracker(res_id) is not None:
+                if tail:
+                    self._ops.append(("single_tail", component, joules,
+                                      res_id, interval.t0_ns,
+                                      interval.t1_ns))
+                    continue
+                shares, idle_ns = self._single_cover(
+                    res_id, interval.t0_ns, interval.t1_ns)
+                if fold:
+                    self._ops.append(
+                        ("single", component, joules, shares, idle_ns))
+                else:
+                    self._apply_single(component, joules, shares, idle_ns)
+            elif self.stream.multi_tracker(res_id) is not None:
+                if tail:
+                    self._ops.append(("multi_tail", component, joules,
+                                      res_id, interval.t0_ns,
+                                      interval.t1_ns))
+                    continue
+                shares_f = self._multi_cover(
+                    res_id, interval.t0_ns, interval.t1_ns)
+                if fold:
+                    self._ops.append(("multi", component, joules, shares_f))
+                else:
+                    for activity, fraction in shares_f.items():
+                        self.map.add_energy(component, activity,
+                                            joules * fraction)
+            else:
+                if fold or tail:
+                    self._ops.append(("untracked", component, joules))
+                else:
+                    self.map.add_energy(component, UNTRACKED_KEY, joules)
+        if not tail:
+            # No later window can start before this interval's end, so
+            # segments wholly behind it are spent — including those of
+            # devices the covers above never touched (no power column).
+            # This is what keeps pending state flat as the log grows; in
+            # tail mode the deques are retained for the finish re-cover.
+            boundary = interval.t1_ns
+            for queue in self._pending_single.values():
+                while queue and queue[0].t1_ns <= boundary:
+                    queue.popleft()
+                    self._note_pending(-1)
+            for queue in self._pending_multi.values():
+                while queue and queue[0].t1_ns <= boundary:
+                    queue.popleft()
+                    self._note_pending(-1)
+
+    # -- completion ---------------------------------------------------------
+
+    def finish(self) -> EnergyMap:
+        """Close the stream and return the completed map.  Idempotent:
+        a second call returns the same map without re-charging."""
+        if self._finished:
+            return self.map
+        self.stream.finish(self.end_time_ns)
+        if not self._intervals_seen:
+            raise RegressionError("no power intervals to account")
+        self._finished = True
+        # Replay deferred cover ops now that every bind has been seen
+        # (fold mode) and every tail segment has closed (tail windows).
+        # Replay order is interval order — the same order the batch path
+        # charges them; tail windows re-cover from the retained segment
+        # deques with batch-style cursors.
+        tail_single: dict[int, list[ActivitySegment]] = {}
+        tail_multi: dict[int, list[MultiActivitySegment]] = {}
+        single_cursor: dict[int, int] = {}
+        multi_cursor: dict[int, int] = {}
+        for op in self._ops:
+            kind = op[0]
+            if kind == "const":
+                self.map.add_energy(CONST_KEY, CONST_KEY, op[1])
+            elif kind == "single":
+                _, component, joules, shares, idle_ns = op
+                self._apply_single(component, joules, shares, idle_ns)
+            elif kind == "single_tail":
+                _, component, joules, res_id, t0, t1 = op
+                segments = tail_single.get(res_id)
+                if segments is None:
+                    segments = tail_single[res_id] = list(
+                        self._pending_single.get(res_id, ()))
+                    single_cursor[res_id] = 0
+                shares, covered, single_cursor[res_id] = _scan_cover(
+                    segments, single_cursor[res_id], t0, t1)
+                self._apply_single(component, joules, shares,
+                                   (t1 - t0) - covered)
+            elif kind == "multi":
+                _, component, joules, shares_f = op
+                for activity, fraction in shares_f.items():
+                    self.map.add_energy(component, activity,
+                                        joules * fraction)
+            elif kind == "multi_tail":
+                _, component, joules, res_id, t0, t1 = op
+                msegments = tail_multi.get(res_id)
+                if msegments is None:
+                    msegments = tail_multi[res_id] = list(
+                        self._pending_multi.get(res_id, ()))
+                    multi_cursor[res_id] = 0
+                shares_f, multi_cursor[res_id] = self._multi_cover_list(
+                    msegments, multi_cursor[res_id], t0, t1)
+                for activity, fraction in shares_f.items():
+                    self.map.add_energy(component, activity,
+                                        joules * fraction)
+            else:  # untracked
+                _, component, joules = op
+                self.map.add_energy(component, UNTRACKED_KEY, joules)
+        self._ops.clear()
+        # Time breakdown per device (Table 3a): how long each component
+        # worked on behalf of each activity, independent of power states.
+        if self.fold_proxies:
+            for res_id in sorted(self._time_single_segments):
+                component = self.component_names.get(res_id, f"res{res_id}")
+                for segment in self._time_single_segments[res_id]:
+                    self.map.add_time(
+                        component,
+                        self.registry.name_of(segment.effective_label),
+                        segment.dt_ns)
+        else:
+            for res_id in sorted(self._time_single):
+                component = self.component_names.get(res_id, f"res{res_id}")
+                for name, dt_ns in self._time_single[res_id].items():
+                    self.map.add_time(component, name, dt_ns)
+        for res_id in sorted(self._time_multi):
+            component = self.component_names.get(res_id, f"res{res_id}")
+            for name, dt_ns in self._time_multi[res_id].items():
+                self.map.add_time(component, name, dt_ns)
+        self.map.span_ns = self._last_interval_t1_ns - self._span_t0_ns
+        self.map.metered_energy_j = (
+            self._pulses_total * self.energy_per_pulse_j
+        )
+        return self.map
+
+
+def stream_energy_map(
+    entries: Iterable,
+    regression: RegressionResult,
+    registry: ActivityRegistry,
+    component_names: dict[int, str],
+    energy_per_pulse_j: float,
+    *,
+    fold_proxies: bool = False,
+    idle_name: str = "Idle",
+    end_time_ns: Optional[int] = None,
+    single_res_ids: Optional[Iterable[int]] = None,
+    multi_res_ids: Optional[Iterable[int]] = None,
+) -> EnergyMap:
+    """One-pass log → timeline → accounting: feed decoded entries (any
+    iterable, e.g. :func:`repro.core.logger.iter_entries`) straight into
+    an :class:`EnergyAccumulator` and return the finished map."""
+    accumulator = EnergyAccumulator(
+        regression, registry, component_names, energy_per_pulse_j,
+        fold_proxies=fold_proxies, idle_name=idle_name,
+        single_res_ids=single_res_ids, multi_res_ids=multi_res_ids,
+        end_time_ns=end_time_ns,
+    )
+    return accumulator.feed_all(entries)
 
 
 def build_energy_map(
@@ -205,98 +633,24 @@ def build_energy_map(
     fold_proxies: bool = False,
     idle_name: str = "Idle",
 ) -> EnergyMap:
-    """Merge power intervals, regression, and activity segments.
+    """Merge power intervals, regression, and activity segments — the
+    batch wrapper: re-feeds the builder's (already sorted) entries
+    through the streaming accumulator with the builder's fully-inferred
+    device sets, so batch and stream are one implementation.
 
     ``component_names`` maps res_id to the display name of each device.
     Devices present in the power layout but absent from the activity log
     are charged to ``(untracked)``.
     """
-    intervals = timeline.power_intervals()
-    if not intervals:
-        raise RegressionError("no power intervals to account")
-
-    single_segments = {
-        res_id: timeline.activity_segments(res_id)
-        for res_id in timeline.single_device_ids()
-    }
-    multi_segments = {
-        res_id: timeline.multi_activity_segments(res_id)
-        for res_id in timeline.multi_device_ids()
-    }
-
-    energy_map = EnergyMap()
-    energy_map.span_ns = intervals[-1].t1_ns - intervals[0].t0_ns
-    energy_map.metered_energy_j = (
-        sum(interval.pulses for interval in intervals) * energy_per_pulse_j
+    return stream_energy_map(
+        timeline.entries,
+        regression,
+        registry,
+        component_names,
+        energy_per_pulse_j,
+        fold_proxies=fold_proxies,
+        idle_name=idle_name,
+        end_time_ns=timeline.end_time_ns,
+        single_res_ids=timeline.single_device_ids(),
+        multi_res_ids=timeline.multi_device_ids(),
     )
-
-    # Column lookup: which (res_id, value) pairs carry estimated power.
-    column_power: dict[tuple[int, int], tuple[str, float]] = {}
-    for column in regression.columns:
-        column_power[(column.res_id, column.value)] = (
-            column.name,
-            regression.power_w[column.name],
-        )
-
-    # Per-device scan cursors: intervals advance monotonically in time,
-    # so each device's segment list is walked once across all intervals.
-    single_cursor: dict[int, int] = {res_id: 0 for res_id in single_segments}
-    multi_cursor: dict[int, int] = {res_id: 0 for res_id in multi_segments}
-
-    for interval in intervals:
-        dt_ns = interval.dt_ns
-        if dt_ns <= 0:
-            continue
-        dt_s = dt_ns * 1e-9
-        # Constant draw: the baseline floor, charged to Const.
-        energy_map.add_energy(CONST_KEY, CONST_KEY,
-                              regression.const_power_w * dt_s)
-        for res_id, value in interval.states:
-            entry = column_power.get((res_id, value))
-            if entry is None:
-                continue  # baseline state of this sink: no marginal draw
-            column_name, power_w = entry
-            component = component_names.get(res_id, column_name)
-            joules = power_w * dt_s
-            if res_id in single_segments:
-                shares, single_cursor[res_id] = _segment_cover(
-                    single_segments[res_id], single_cursor[res_id],
-                    interval.t0_ns, interval.t1_ns,
-                    fold_proxies, registry, idle_name,
-                )
-                total_share = sum(shares.values()) or 1
-                for activity, share_ns in shares.items():
-                    fraction = share_ns / total_share
-                    energy_map.add_energy(component, activity,
-                                          joules * fraction)
-            elif res_id in multi_segments:
-                shares_f, multi_cursor[res_id] = _multi_cover(
-                    multi_segments[res_id], multi_cursor[res_id],
-                    interval.t0_ns, interval.t1_ns,
-                    registry, idle_name,
-                )
-                for activity, fraction in shares_f.items():
-                    energy_map.add_energy(component, activity,
-                                          joules * fraction)
-            else:
-                energy_map.add_energy(component, UNTRACKED_KEY, joules)
-
-    # Time breakdown per device (Table 3a): how long each component worked
-    # on behalf of each activity, independent of power states.
-    for res_id, segments in single_segments.items():
-        component = component_names.get(res_id, f"res{res_id}")
-        for segment in segments:
-            label = segment.effective_label if fold_proxies else segment.label
-            energy_map.add_time(component, registry.name_of(label),
-                                segment.dt_ns)
-    for res_id, msegments in multi_segments.items():
-        component = component_names.get(res_id, f"res{res_id}")
-        for msegment in msegments:
-            if not msegment.labels:
-                energy_map.add_time(component, idle_name, msegment.dt_ns)
-                continue
-            for label in msegment.labels:
-                energy_map.add_time(component, registry.name_of(label),
-                                    msegment.dt_ns // len(msegment.labels))
-
-    return energy_map

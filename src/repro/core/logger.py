@@ -301,14 +301,20 @@ class QuantoLogger:
         return decode_log(self.raw_bytes())
 
 
-def decode_log(raw: bytes) -> list[LogEntry]:
-    """Decode packed entries, unwrapping u32 time and iCount wrap-around."""
+def iter_entries(raw: bytes):
+    """Incrementally decode packed entries, unwrapping u32 time and iCount
+    wrap-around.
+
+    A generator: each :class:`LogEntry` is yielded as soon as its 12 bytes
+    are parsed, so downstream consumers (the timeline stream, the energy
+    accumulator) can process a log without the whole decoded list ever
+    existing in memory.  The wrap-around unwrapping state is three
+    integers — independent of log length.
+    """
     if len(raw) % ENTRY_SIZE:
         raise LoggerError(
             f"log length {len(raw)} is not a multiple of {ENTRY_SIZE}"
         )
-    entries: list[LogEntry] = []
-    append = entries.append
     time_base = 0
     last_time = 0
     ic_base = 0
@@ -322,15 +328,18 @@ def decode_log(raw: bytes) -> list[LogEntry]:
             if pulses < last_ic:
                 ic_base += 1 << 32
         last_time, last_ic = time_us, pulses
-        append(
-            LogEntry(
-                type=entry_type,
-                res_id=res_id,
-                time_us=time_base + time_us,
-                icount=ic_base + pulses,
-                value=value,
-                seq=seq,
-            )
+        yield LogEntry(
+            type=entry_type,
+            res_id=res_id,
+            time_us=time_base + time_us,
+            icount=ic_base + pulses,
+            value=value,
+            seq=seq,
         )
         seq += 1
-    return entries
+
+
+def decode_log(raw: bytes) -> list[LogEntry]:
+    """Decode a whole log at once (the batch wrapper over
+    :func:`iter_entries`)."""
+    return list(iter_entries(raw))

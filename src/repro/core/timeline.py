@@ -11,14 +11,37 @@ activity changes across all devices.  This module rebuilds:
   ``bind`` events resolved so a proxy segment knows which real activity
   absorbed it.
 
+Two entry points share one reconstruction core:
+
+* :class:`TimelineStream` — the streaming visitor.  Feed it decoded
+  entries in log order and it emits each :class:`PowerInterval`,
+  :class:`ActivitySegment`, and :class:`MultiActivitySegment` through a
+  callback *the moment it closes*.  Its working state is the set of
+  currently-open spans (one per device plus one power interval), so a
+  log of any length can be folded into an energy map without the entry
+  list, interval list, or segment lists ever being materialized.
+* :class:`TimelineBuilder` — the batch view, now a thin wrapper that
+  runs the same trackers over a stored entry list and collects their
+  emissions into lists.  Output is identical to the streaming path by
+  construction.
+
+One semantic caveat is inherent to the paper's bind model: a proxy
+segment's ``bound_to`` may be assigned *after* the segment closed (a
+bind reaches back over every unresolved segment of the label it binds).
+The stream therefore emits segments whose ``bound_to`` can still mutate
+until the stream finishes; consumers that fold proxies must defer label
+resolution (see :class:`repro.core.accounting.EnergyAccumulator`), and
+consumers that do not (``fold_proxies=False``) can run with
+``track_binds=False`` for strictly bounded memory.
+
 Everything here consumes only the log plus instrumentation metadata (which
 res_ids exist, what their state values are named) — never ground truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
 
 from repro.core.labels import ActivityLabel
 from repro.core.logger import (
@@ -91,8 +114,442 @@ class MultiActivitySegment:
         return self.t1_ns - self.t0_ns
 
 
+# -- streaming trackers ----------------------------------------------------
+#
+# Each tracker owns one kind of open span and pushes closed spans to an
+# ``emit`` callback.  They are the single source of truth for the
+# reconstruction semantics; both TimelineStream and TimelineBuilder are
+# wiring around them.
+
+
+class _IntervalTracker:
+    """Folds BOOT/POWERSTATE entries into closed :class:`PowerInterval`s.
+
+    State: the current power-state vector (interned), the open span's
+    start time and pulse count, and the last entry seen — O(sinks),
+    independent of log length.
+    """
+
+    __slots__ = ("emit", "bump", "_states", "_interned", "_vector",
+                 "_dirty", "_span_start_ns", "_span_start_pulses",
+                 "_last_time_ns", "_last_icount", "_saw_any",
+                 "last_emitted_t1_ns")
+
+    def __init__(self, emit: Callable[[PowerInterval], None],
+                 bump: Optional[Callable[[int], None]] = None) -> None:
+        self.emit = emit
+        self.bump = bump
+        self._states: dict[int, int] = {}
+        self._interned: dict[tuple[tuple[int, int], ...],
+                             tuple[tuple[int, int], ...]] = {}
+        self._vector: tuple[tuple[int, int], ...] = ()
+        self._dirty = False
+        self._span_start_ns: Optional[int] = None
+        self._span_start_pulses = 0
+        self._last_time_ns = 0
+        self._last_icount = 0
+        self._saw_any = False
+        self.last_emitted_t1_ns: Optional[int] = None
+
+    def _current_vector(self) -> tuple[tuple[int, int], ...]:
+        # The state vector is rebuilt only when a transition actually
+        # changed it, and equal vectors are interned to one tuple — the
+        # regression groups intervals by vector, so identical objects make
+        # that grouping (and this loop) allocation-light.
+        if self._dirty:
+            built = tuple(sorted(self._states.items()))
+            self._vector = self._interned.setdefault(built, built)
+            self._dirty = False
+        return self._vector
+
+    def _set_state(self, res_id: int, value: int) -> None:
+        if self._states.get(res_id) != value:
+            self._states[res_id] = value
+            self._dirty = True
+
+    def feed(self, entry: LogEntry) -> None:
+        # Every entry type updates the "last record" watermark: the
+        # trailing interval ends at the last *record*, whatever it was
+        # (energy past it is unobservable).
+        self._saw_any = True
+        self._last_time_ns = entry.time_ns
+        self._last_icount = entry.icount
+        entry_type = entry.type
+        if entry_type == TYPE_BOOT:
+            # Boot entries establish the initial vector without opening
+            # an interval boundary.
+            self._set_state(entry.res_id, entry.value)
+            if self._span_start_ns is None:
+                self._span_start_ns = entry.time_ns
+                self._span_start_pulses = entry.icount
+                if self.bump is not None:
+                    self.bump(1)
+            return
+        if entry_type != TYPE_POWERSTATE:
+            return
+        if self._span_start_ns is None:
+            self._span_start_ns = entry.time_ns
+            self._span_start_pulses = entry.icount
+            self._set_state(entry.res_id, entry.value)
+            if self.bump is not None:
+                self.bump(1)
+            return
+        time_ns = entry.time_ns
+        if time_ns > self._span_start_ns:
+            interval = PowerInterval(
+                t0_ns=self._span_start_ns,
+                t1_ns=time_ns,
+                pulses=entry.icount - self._span_start_pulses,
+                states=self._current_vector(),
+            )
+            self._span_start_ns = time_ns
+            self._span_start_pulses = entry.icount
+            self.last_emitted_t1_ns = time_ns
+            self.emit(interval)
+        self._set_state(entry.res_id, entry.value)
+
+    def finish(self) -> None:
+        """Close the trailing span at the last record.  Time past the
+        last record is unobservable, exactly as when a real node dumps
+        its log.  Idempotent: the span is consumed, so a second finish
+        emits nothing."""
+        if self._span_start_ns is None or not self._saw_any:
+            return
+        if self._last_time_ns > self._span_start_ns:
+            interval = PowerInterval(
+                t0_ns=self._span_start_ns,
+                t1_ns=self._last_time_ns,
+                pulses=max(self._last_icount - self._span_start_pulses, 0),
+                states=self._current_vector(),
+            )
+            self.last_emitted_t1_ns = self._last_time_ns
+            self.emit(interval)
+        self._span_start_ns = None
+
+    def open_count(self) -> int:
+        return 1 if self._span_start_ns is not None else 0
+
+
+class _SingleTracker:
+    """Rebuilds one single-activity device's painted history.
+
+    Bind semantics follow the paper: "the resources used by a proxy
+    activity are accounted for separately, and then assigned to the
+    real activity as soon as the system can determine what this
+    activity is."  Concretely, a bind of label ``N`` while the device
+    carries label ``L`` resolves *every not-yet-resolved segment of
+    L* (one reception episode spans many proxy fragments interleaved
+    with sleep), and resolution chains transitively — a UART proxy
+    bound to the RX proxy bound to a remote activity ends up charged
+    to the remote activity.
+
+    ``bind_horizon_ns`` optionally limits how far back a bind
+    reaches; useful when the same proxy has unrelated earlier
+    episodes that legitimately never resolved (e.g. LPL false
+    positives followed by a real reception).
+
+    ``track_binds=False`` drops the unresolved-segment bookkeeping
+    entirely: closed segments are emitted and forgotten, so memory is
+    bounded by the one open segment.  ``bound_to`` is then never set —
+    only valid for consumers that read ``label``, not
+    ``effective_label`` (i.e. ``fold_proxies=False`` accounting).
+    """
+
+    __slots__ = ("res_id", "emit", "bump", "track_binds",
+                 "bind_horizon_ns", "_unresolved", "_open")
+
+    def __init__(
+        self,
+        res_id: int,
+        emit: Callable[[ActivitySegment], None],
+        track_binds: bool = True,
+        bind_horizon_ns: Optional[int] = None,
+        bump: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.res_id = res_id
+        self.emit = emit
+        self.bump = bump
+        self.track_binds = track_binds
+        self.bind_horizon_ns = bind_horizon_ns
+        # Segments awaiting resolution, keyed by the label they are
+        # currently attributed to (their own label, or a proxy they were
+        # already bound to).
+        self._unresolved: dict[ActivityLabel, list[ActivitySegment]] = {}
+        # The currently-open segment (t1_ns finalized at close), or None.
+        self._open: Optional[ActivitySegment] = None
+
+    @property
+    def open_segment(self) -> Optional[ActivitySegment]:
+        return self._open
+
+    def _close(self, t1_ns: int) -> None:
+        segment = self._open
+        if segment is None:
+            return
+        self._open = None
+        if self.bump is not None:
+            self.bump(-1)
+        if t1_ns <= segment.t0_ns:
+            return  # zero-length: never existed
+        segment.t1_ns = t1_ns
+        if self.track_binds:
+            self._unresolved.setdefault(segment.label, []).append(segment)
+            if self.bump is not None:
+                self.bump(1)
+        self.emit(segment)
+
+    def feed(self, entry: LogEntry) -> None:
+        if entry.type not in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
+            return
+        new_label = entry.label
+        previous = self._open
+        self._close(entry.time_ns)
+        if (entry.type == TYPE_ACT_BIND and previous is not None
+                and self.track_binds):
+            pending = self._unresolved.pop(previous.label, [])
+            kept: list[ActivitySegment] = []
+            for segment in pending:
+                if (self.bind_horizon_ns is not None
+                        and entry.time_ns - segment.t1_ns
+                        > self.bind_horizon_ns):
+                    continue  # stale episode: stays unbound
+                segment.bound_to = new_label
+                kept.append(segment)
+            # Transitivity: these now follow the new label's fate.
+            if kept:
+                self._unresolved.setdefault(new_label, []).extend(kept)
+            if self.bump is not None:
+                self.bump(len(kept) - len(pending))
+        self._open = ActivitySegment(
+            res_id=self.res_id, t0_ns=entry.time_ns, t1_ns=entry.time_ns,
+            label=new_label,
+        )
+        if self.bump is not None:
+            self.bump(1)
+
+    def finish(self, end_time_ns: int) -> None:
+        self._close(end_time_ns)
+
+    def open_count(self) -> int:
+        count = 1 if self._open is not None else 0
+        if self.track_binds:
+            count += sum(len(v) for v in self._unresolved.values())
+        return count
+
+
+class _MultiTracker:
+    """Rebuilds one multi-activity device's label-set history."""
+
+    __slots__ = ("res_id", "emit", "bump", "_current", "_start_ns",
+                 "_started")
+
+    def __init__(self, res_id: int,
+                 emit: Callable[[MultiActivitySegment], None],
+                 bump: Optional[Callable[[int], None]] = None) -> None:
+        self.res_id = res_id
+        self.emit = emit
+        self.bump = bump
+        self._current: set[ActivityLabel] = set()
+        self._start_ns = 0
+        self._started = False
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def open_start_ns(self) -> int:
+        return self._start_ns
+
+    def current_labels(self) -> frozenset[ActivityLabel]:
+        """Snapshot of the open span's label set (it mutates in place)."""
+        return frozenset(self._current)
+
+    def feed(self, entry: LogEntry) -> None:
+        if entry.type not in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
+            return
+        if self._started and entry.time_ns > self._start_ns:
+            self.emit(
+                MultiActivitySegment(
+                    res_id=self.res_id,
+                    t0_ns=self._start_ns,
+                    t1_ns=entry.time_ns,
+                    labels=frozenset(self._current),
+                )
+            )
+        if entry.type == TYPE_ACT_ADD:
+            self._current.add(entry.label)
+        else:
+            self._current.discard(entry.label)
+        self._start_ns = entry.time_ns
+        if not self._started:
+            self._started = True
+            if self.bump is not None:
+                self.bump(1)
+
+    def finish(self, end_time_ns: int) -> None:
+        if self._started and end_time_ns > self._start_ns:
+            self.emit(
+                MultiActivitySegment(
+                    res_id=self.res_id,
+                    t0_ns=self._start_ns,
+                    t1_ns=end_time_ns,
+                    labels=frozenset(self._current),
+                )
+            )
+        if self._started:
+            self._started = False
+            if self.bump is not None:
+                self.bump(-1)
+
+    def open_count(self) -> int:
+        return 1 if self._started else 0
+
+
+def _ignore(_obj) -> None:
+    pass
+
+
+class TimelineStream:
+    """The streaming visitor: feed entries in log order, receive each
+    interval and segment through a callback the moment it closes.
+
+    Entries must arrive sorted by ``(time_us, seq)`` — the order the
+    logger writes them (``iter_entries`` yields them that way; the
+    timestamps a node records are monotone).
+
+    Devices may be declared up front (``single_res_ids`` /
+    ``multi_res_ids``) or inferred from entry types exactly as the batch
+    builder infers them.  ``peak_open_items`` tracks the high-water mark
+    of open state (open interval + open segments + unresolved bind
+    candidates), maintained by O(1) deltas at each span open/close so
+    the instrumentation costs nothing on the per-entry path: with
+    ``track_binds=False`` it is O(devices), independent of log length —
+    the bounded-memory contract the tests pin down.
+    """
+
+    def __init__(
+        self,
+        *,
+        single_res_ids: Optional[Iterable[int]] = None,
+        multi_res_ids: Optional[Iterable[int]] = None,
+        track_binds: bool = True,
+        bind_horizon_ns: Optional[int] = None,
+        on_interval: Optional[Callable[[PowerInterval], None]] = None,
+        on_segment: Optional[Callable[[ActivitySegment], None]] = None,
+        on_multi_segment: Optional[
+            Callable[[MultiActivitySegment], None]] = None,
+    ) -> None:
+        self.track_binds = track_binds
+        self.bind_horizon_ns = bind_horizon_ns
+        self.on_segment = on_segment or _ignore
+        self.on_multi_segment = on_multi_segment or _ignore
+        self._open_items = 0
+        self.peak_open_items = 0
+        self.intervals = _IntervalTracker(on_interval or _ignore,
+                                          bump=self._bump)
+        self._single_ids: set[int] = set(single_res_ids or [])
+        self._multi_ids: set[int] = set(multi_res_ids or [])
+        self._singles: dict[int, _SingleTracker] = {
+            res_id: self._make_single(res_id) for res_id in self._single_ids
+        }
+        self._multis: dict[int, _MultiTracker] = {
+            res_id: _MultiTracker(res_id, self.on_multi_segment,
+                                  bump=self._bump)
+            for res_id in self._multi_ids
+        }
+        self._last_entry_time_ns = 0
+        self._saw_any = False
+
+    def _bump(self, delta: int) -> None:
+        self._open_items += delta
+        if self._open_items > self.peak_open_items:
+            self.peak_open_items = self._open_items
+
+    def _make_single(self, res_id: int) -> _SingleTracker:
+        return _SingleTracker(
+            res_id, self.on_segment,
+            track_binds=self.track_binds,
+            bind_horizon_ns=self.bind_horizon_ns,
+            bump=self._bump,
+        )
+
+    # -- feeding -----------------------------------------------------------
+
+    def feed(self, entry: LogEntry) -> None:
+        self._saw_any = True
+        self._last_entry_time_ns = entry.time_ns
+        self.intervals.feed(entry)
+        entry_type = entry.type
+        if entry_type in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
+            res_id = entry.res_id
+            # Same inference as the batch builder: a change/bind marks a
+            # single-activity device unless the id is already multi.
+            if res_id not in self._multi_ids:
+                tracker = self._singles.get(res_id)
+                if tracker is None:
+                    tracker = self._singles[res_id] = \
+                        self._make_single(res_id)
+                    self._single_ids.add(res_id)
+                tracker.feed(entry)
+        elif entry_type in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
+            res_id = entry.res_id
+            tracker = self._multis.get(res_id)
+            if tracker is None:
+                tracker = self._multis[res_id] = \
+                    _MultiTracker(res_id, self.on_multi_segment,
+                                  bump=self._bump)
+                self._multi_ids.add(res_id)
+            tracker.feed(entry)
+
+    def feed_all(self, entries: Iterable[LogEntry],
+                 end_time_ns: Optional[int] = None) -> None:
+        """Feed a whole entry iterable, then :meth:`finish`."""
+        for entry in entries:
+            self.feed(entry)
+        self.finish(end_time_ns)
+
+    def finish(self, end_time_ns: Optional[int] = None) -> None:
+        """Close every open span.  ``end_time_ns`` defaults to the last
+        entry's time (the batch builder's default)."""
+        if end_time_ns is None:
+            end_time_ns = self._last_entry_time_ns if self._saw_any else 0
+        self.intervals.finish()
+        for tracker in self._singles.values():
+            tracker.finish(end_time_ns)
+        for tracker in self._multis.values():
+            tracker.finish(end_time_ns)
+
+    # -- introspection ------------------------------------------------------
+
+    def open_items(self) -> int:
+        """Open spans plus retained bind candidates — the stream's live
+        state, the quantity that must stay flat as the log grows."""
+        return (
+            self.intervals.open_count()
+            + sum(t.open_count() for t in self._singles.values())
+            + sum(t.open_count() for t in self._multis.values())
+        )
+
+    def single_tracker(self, res_id: int) -> Optional[_SingleTracker]:
+        return self._singles.get(res_id)
+
+    def multi_tracker(self, res_id: int) -> Optional[_MultiTracker]:
+        return self._multis.get(res_id)
+
+    def single_device_ids(self) -> list[int]:
+        return sorted(self._single_ids)
+
+    def multi_device_ids(self) -> list[int]:
+        return sorted(self._multi_ids)
+
+
 class TimelineBuilder:
-    """Rebuilds intervals and segments from one node's decoded log."""
+    """The batch view of one node's log: a thin wrapper that runs the
+    streaming trackers over a stored entry list and returns their
+    emissions as lists.  Kept for callers that want random access
+    (per-device lane rendering, windowed figures); the reconstruction
+    semantics live in the trackers above."""
 
     def __init__(
         self,
@@ -120,85 +577,24 @@ class TimelineBuilder:
             elif entry.type in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
                 self._multi_ids.add(entry.res_id)
         self._by_res = by_res
+        self._intervals_cache: Optional[list[PowerInterval]] = None
 
     # -- power intervals ----------------------------------------------------
 
     def power_intervals(self) -> list[PowerInterval]:
         """Spans of constant power state, with their pulse deltas.
 
-        Boot entries establish the initial vector without opening an
-        interval boundary; subsequent power-state entries close the running
-        interval and start the next.
+        Computed once and cached (the intervals are immutable): the
+        regression and the accounting both walk them.
         """
-        intervals: list[PowerInterval] = []
-        states: dict[int, int] = {}
-        span_start_ns: Optional[int] = None
-        span_start_pulses = 0
-        # The state vector is rebuilt only when a transition actually
-        # changed it, and equal vectors are interned to one tuple — the
-        # regression groups intervals by vector, so identical objects make
-        # that grouping (and this loop) allocation-light.
-        interned: dict[tuple[tuple[int, int], ...], tuple[tuple[int, int], ...]] = {}
-        vector: tuple[tuple[int, int], ...] = ()
-        dirty = False
-
-        def current_vector() -> tuple[tuple[int, int], ...]:
-            nonlocal vector, dirty
-            if dirty:
-                built = tuple(sorted(states.items()))
-                vector = interned.setdefault(built, built)
-                dirty = False
-            return vector
-
-        def set_state(res_id: int, value: int) -> None:
-            nonlocal dirty
-            if states.get(res_id) != value:
-                states[res_id] = value
-                dirty = True
-
-        for entry in self.entries:
-            entry_type = entry.type
-            if entry_type == TYPE_BOOT:
-                set_state(entry.res_id, entry.value)
-                if span_start_ns is None:
-                    span_start_ns = entry.time_ns
-                    span_start_pulses = entry.icount
-                continue
-            if entry_type != TYPE_POWERSTATE:
-                continue
-            if span_start_ns is None:
-                span_start_ns = entry.time_ns
-                span_start_pulses = entry.icount
-                set_state(entry.res_id, entry.value)
-                continue
-            time_ns = entry.time_ns
-            if time_ns > span_start_ns:
-                intervals.append(
-                    PowerInterval(
-                        t0_ns=span_start_ns,
-                        t1_ns=time_ns,
-                        pulses=entry.icount - span_start_pulses,
-                        states=current_vector(),
-                    )
-                )
-                span_start_ns = time_ns
-                span_start_pulses = entry.icount
-            set_state(entry.res_id, entry.value)
-        # Trailing span: energy is only measured up to the last record, so
-        # the final interval ends there — time past the last record is
-        # unobservable, exactly as when a real node dumps its log.
-        if span_start_ns is not None and self.entries:
-            last = self.entries[-1]
-            if last.time_ns > span_start_ns:
-                intervals.append(
-                    PowerInterval(
-                        t0_ns=span_start_ns,
-                        t1_ns=last.time_ns,
-                        pulses=max(last.icount - span_start_pulses, 0),
-                        states=current_vector(),
-                    )
-                )
-        return intervals
+        if self._intervals_cache is None:
+            intervals: list[PowerInterval] = []
+            tracker = _IntervalTracker(intervals.append)
+            for entry in self.entries:
+                tracker.feed(entry)
+            tracker.finish()
+            self._intervals_cache = intervals
+        return self._intervals_cache
 
     # -- single-activity segments --------------------------------------------
 
@@ -208,66 +604,18 @@ class TimelineBuilder:
         bind_horizon_ns: Optional[int] = None,
     ) -> list[ActivitySegment]:
         """The painted-activity history of one single-activity device,
-        with bind events resolved onto the segments they absorb.
-
-        Bind semantics follow the paper: "the resources used by a proxy
-        activity are accounted for separately, and then assigned to the
-        real activity as soon as the system can determine what this
-        activity is."  Concretely, a bind of label ``N`` while the device
-        carries label ``L`` resolves *every not-yet-resolved segment of
-        L* (one reception episode spans many proxy fragments interleaved
-        with sleep), and resolution chains transitively — a UART proxy
-        bound to the RX proxy bound to a remote activity ends up charged
-        to the remote activity.
-
-        ``bind_horizon_ns`` optionally limits how far back a bind
-        reaches; useful when the same proxy has unrelated earlier
-        episodes that legitimately never resolved (e.g. LPL false
-        positives followed by a real reception).
-        """
+        with bind events resolved onto the segments they absorb (see
+        :class:`_SingleTracker` for the bind semantics)."""
         if res_id in self._multi_ids:
             raise RegressionError(
                 f"res_id {res_id} is a multi-activity device"
             )
         segments: list[ActivitySegment] = []
-        # Segments awaiting resolution, keyed by the label they are
-        # currently attributed to (their own label, or a proxy they were
-        # already bound to).
-        unresolved: dict[ActivityLabel, list[ActivitySegment]] = {}
-        current_label: Optional[ActivityLabel] = None
-        start_ns = 0
-
-        def close_segment(t1_ns: int) -> None:
-            if current_label is None or t1_ns <= start_ns:
-                return
-            segment = ActivitySegment(
-                res_id=res_id, t0_ns=start_ns, t1_ns=t1_ns,
-                label=current_label,
-            )
-            segments.append(segment)
-            unresolved.setdefault(current_label, []).append(segment)
-
+        tracker = _SingleTracker(
+            res_id, segments.append, bind_horizon_ns=bind_horizon_ns)
         for entry in self._by_res.get(res_id, ()):
-            if entry.type not in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
-                continue
-            new_label = entry.label
-            close_segment(entry.time_ns)
-            if entry.type == TYPE_ACT_BIND and current_label is not None:
-                pending = unresolved.pop(current_label, [])
-                kept: list[ActivitySegment] = []
-                for segment in pending:
-                    if (bind_horizon_ns is not None
-                            and entry.time_ns - segment.t1_ns
-                            > bind_horizon_ns):
-                        continue  # stale episode: stays unbound
-                    segment.bound_to = new_label
-                    kept.append(segment)
-                # Transitivity: these now follow the new label's fate.
-                if kept:
-                    unresolved.setdefault(new_label, []).extend(kept)
-            current_label = new_label
-            start_ns = entry.time_ns
-        close_segment(self.end_time_ns)
+            tracker.feed(entry)
+        tracker.finish(self.end_time_ns)
         return segments
 
     # -- multi-activity segments ----------------------------------------------
@@ -275,36 +623,10 @@ class TimelineBuilder:
     def multi_activity_segments(self, res_id: int) -> list[MultiActivitySegment]:
         """The activity-set history of one multi-activity device."""
         segments: list[MultiActivitySegment] = []
-        current: set[ActivityLabel] = set()
-        start_ns = 0
-        started = False
+        tracker = _MultiTracker(res_id, segments.append)
         for entry in self._by_res.get(res_id, ()):
-            if entry.type not in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
-                continue
-            if started and entry.time_ns > start_ns:
-                segments.append(
-                    MultiActivitySegment(
-                        res_id=res_id,
-                        t0_ns=start_ns,
-                        t1_ns=entry.time_ns,
-                        labels=frozenset(current),
-                    )
-                )
-            if entry.type == TYPE_ACT_ADD:
-                current.add(entry.label)
-            else:
-                current.discard(entry.label)
-            start_ns = entry.time_ns
-            started = True
-        if started and self.end_time_ns > start_ns:
-            segments.append(
-                MultiActivitySegment(
-                    res_id=res_id,
-                    t0_ns=start_ns,
-                    t1_ns=self.end_time_ns,
-                    labels=frozenset(current),
-                )
-            )
+            tracker.feed(entry)
+        tracker.finish(self.end_time_ns)
         return segments
 
     def single_device_ids(self) -> list[int]:

@@ -73,11 +73,19 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class SweepParam:
-    """One sweepable parameter of an experiment's ``run()`` signature."""
+    """One sweepable parameter of an experiment's ``run()`` signature.
+
+    ``choices`` (from the experiment module's ``PARAM_CHOICES``) closes
+    the value set and ``minimum`` (from ``PARAM_MINIMUMS``) bounds it
+    below: a grid with an unknown topology name or a one-node network
+    fails at expansion time, before any worker is forked.
+    """
 
     name: str
     kind: type
     default: Any
+    choices: Optional[tuple[Any, ...]] = None
+    minimum: Optional[Any] = None
 
     def parse(self, raw: Any) -> Any:
         """Coerce a raw (usually CLI string) value to the parameter type.
@@ -87,6 +95,21 @@ class SweepParam:
         ones (``int`` is accepted where a ``float`` is expected; ``bool``
         is never accepted as an ``int``).
         """
+        value = self._coerce(raw)
+        if self.choices is not None and value not in self.choices:
+            allowed = ", ".join(repr(choice) for choice in self.choices)
+            raise ExperimentParameterError(
+                f"parameter {self.name!r} must be one of {allowed}; "
+                f"got {value!r}"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ExperimentParameterError(
+                f"parameter {self.name!r} must be at least "
+                f"{self.minimum}; got {value!r}"
+            )
+        return value
+
+    def _coerce(self, raw: Any) -> Any:
         if not isinstance(raw, str):
             if self.kind is float and isinstance(raw, int) \
                     and not isinstance(raw, bool):
@@ -133,9 +156,14 @@ def experiment_params(exp_id: str) -> dict[str, SweepParam]:
     Derived from the experiment's ``run()`` signature: every keyword
     argument except ``seed`` whose default is an int, float, str, or bool
     is sweepable, typed by its default.  Experiments therefore opt in by
-    declaring defaults — no registration step, no forked modules.
+    declaring defaults — no registration step, no forked modules.  A
+    module-level ``PARAM_CHOICES = {"topology": ("line", "star")}``
+    closes a parameter's value set, and ``PARAM_MINIMUMS = {"nodes": 2}``
+    bounds it below, both for pre-fork validation.
     """
     module = load_experiment(exp_id)
+    choices_map = getattr(module, "PARAM_CHOICES", {})
+    minimums_map = getattr(module, "PARAM_MINIMUMS", {})
     params: dict[str, SweepParam] = {}
     for name, parameter in inspect.signature(module.run).parameters.items():
         if name == "seed" or parameter.default is inspect.Parameter.empty:
@@ -147,7 +175,12 @@ def experiment_params(exp_id: str) -> dict[str, SweepParam]:
             kind = type(default)
         else:
             continue  # structured defaults are not sweepable from a grid
-        params[name] = SweepParam(name=name, kind=kind, default=default)
+        choices = choices_map.get(name)
+        params[name] = SweepParam(
+            name=name, kind=kind, default=default,
+            choices=tuple(choices) if choices is not None else None,
+            minimum=minimums_map.get(name),
+        )
     return params
 
 
@@ -227,6 +260,34 @@ def lanes_for(
             segments.append(LaneSegment(seg.t0_ns, seg.t1_ns, name))
         lanes[lane_name] = segments
     return lanes
+
+
+def network_sweep_data(report) -> dict:
+    """Fleet-aggregable statistics from a network-wide energy report.
+
+    Every leaf is numeric, so a sweep over a node-count or topology grid
+    turns each of these into a mean/stddev/CI row: the network total,
+    each activity's per-node spread (``spread_mj.<activity>.n<node>``),
+    how many nodes each activity's cost touched, and the remote
+    fraction (the butterfly effect) for every origin-labelled activity.
+    """
+    from repro.units import to_mj
+
+    return {
+        "network_total_mj": to_mj(report.total_j),
+        "spread_mj": {
+            activity: {
+                f"n{node_id}": to_mj(joules)
+                for node_id, joules in sorted(nodes.items())
+            }
+            for activity, nodes in sorted(report.spread.items())
+        },
+        "nodes_touched": {
+            activity: len(nodes)
+            for activity, nodes in sorted(report.spread.items())
+        },
+        "remote_fraction": dict(sorted(report.remote_fractions().items())),
+    }
 
 
 def truth_current_ma(node: QuantoNode, sink: str, state: str) -> float:

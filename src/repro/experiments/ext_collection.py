@@ -2,42 +2,84 @@
 
 The paper's introduction asks "network-wide, how much energy do network
 services such as routing consume?"  This experiment answers it on a
-three-hop line (12 -> 11 -> 10-root) running the collection protocol with
-instrumented forwarding queues: every node's samples are priced across
-the whole network, separating each origin's cost (including the
-forwarding it causes on relays) from idle listening.
+collection tree running over instrumented forwarding queues: every
+node's samples are priced across the whole network, separating each
+origin's cost (including the forwarding it causes on relays) from idle
+listening.
+
+The deployment is sweepable: ``nodes`` sets the tree size and
+``topology`` its shape (``line`` — a chain into the root, the default
+three-hop 12 -> 11 -> 10-root; ``star`` — every node one hop from the
+root), so ``python -m repro sweep ext_collection --seeds 8 --set
+nodes=3,5 --set topology=line,star`` maps how each origin's network
+cost and spread scale with depth and shape across seeds.
 """
 
 from __future__ import annotations
 
-from repro.core.netmerge import merge_energy_maps
+from repro.core.netmerge import NetworkMerger
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, network_sweep_data
 from repro.tos.network import Network
 from repro.tos.node import NodeConfig
 from repro.units import seconds, to_mj
 
-NODE_IDS = [10, 11, 12]
 ROOT_ID = 10
 
+#: Closed value sets and lower bounds, validated before any sweep
+#: worker forks.
+PARAM_CHOICES = {"topology": ("line", "star")}
+PARAM_MINIMUMS = {"nodes": 2}
 
-def run(seed: int = 5, duration_ns: int = seconds(30)) -> ExperimentResult:
-    from repro.apps.collection import build_line_topology
+_HOP_WORDS = {1: "one", 2: "two", 3: "three", 4: "four", 5: "five",
+              6: "six", 7: "seven", 8: "eight", 9: "nine"}
 
+
+def _topology_desc(node_ids: list[int], topology: str) -> str:
+    if topology == "star":
+        leaves = ", ".join(str(n) for n in node_ids[1:])
+        return f"star: {leaves} -> {node_ids[0]}-root"
+    hops = " -> ".join(str(n) for n in reversed(node_ids[1:]))
+    return f"{hops} -> {node_ids[0]}-root"
+
+
+def run(
+    seed: int = 5,
+    duration_ns: int = seconds(30),
+    nodes: int = 3,
+    topology: str = "line",
+    sample_period_ns: int = seconds(4),
+) -> ExperimentResult:
+    from repro.apps.collection import (
+        build_line_topology,
+        build_star_topology,
+    )
+
+    if nodes < 2:
+        raise ValueError("a collection tree needs at least 2 nodes")
+    if topology not in PARAM_CHOICES["topology"]:
+        raise ValueError(f"unknown topology {topology!r}; "
+                         f"choose from {PARAM_CHOICES['topology']}")
+    node_ids = [ROOT_ID + i for i in range(nodes)]
     network = Network(seed=seed)
-    for node_id in NODE_IDS:
+    for node_id in node_ids:
         network.add_node(NodeConfig(node_id=node_id, mac="csma"))
-    apps = build_line_topology(network, NODE_IDS, root_id=ROOT_ID,
-                               sample_period_ns=seconds(4))
+    builder = build_line_topology if topology == "line" \
+        else build_star_topology
+    apps = builder(network, node_ids, root_id=ROOT_ID,
+                   sample_period_ns=sample_period_ns)
     network.boot_all({nid: app.start for nid, app in apps.items()})
     network.run(duration_ns)
 
-    maps = {nid: network.node(nid).energy_map(fold_proxies=True)
-            for nid in NODE_IDS}
-    report = merge_energy_maps(maps)
+    # Incremental merge: each node's map folds into the running report
+    # and is dropped — fleet-size analyses never hold every map at once.
+    merger = NetworkMerger()
+    for nid in node_ids:
+        merger.add(nid, network.node(nid).energy_map(fold_proxies=True))
+    report = merger.report()
 
     rows = []
-    for origin in NODE_IDS:
+    for origin in node_ids:
         name = f"{origin}:Collect"
         if name not in report.by_activity:
             continue
@@ -53,19 +95,30 @@ def run(seed: int = 5, duration_ns: int = seconds(30)) -> ExperimentResult:
         ("origin activity", "network total (mJ)", "spent remotely",
          "per-node (mJ)"),
         rows, title="the network-wide price of each node's data "
-                    "(12 -> 11 -> 10-root)")
+                    f"({_topology_desc(node_ids, topology)})")
 
     root = apps[ROOT_ID]
-    leaf_name = "12:Collect"
+    leaf_id = node_ids[-1]
+    leaf_name = f"{leaf_id}:Collect"
     stats = [
         f"delivered at root: {len(root.delivered)} packets "
         f"({sorted({o for o, _ in root.delivered})} origins)",
-        f"middle node forwarded {apps[11].packets_forwarded} packets, "
-        f"queue drops: {apps[11].queue.dropped}",
     ]
+    if topology == "line" and nodes >= 3:
+        relay = apps[node_ids[1]]
+        stats.append(
+            f"middle node forwarded {relay.packets_forwarded} packets, "
+            f"queue drops: {relay.queue.dropped}")
+    else:
+        forwarded = sum(apps[nid].packets_forwarded
+                        for nid in node_ids if nid != ROOT_ID)
+        stats.append(f"non-root nodes sent {forwarded} packets upward")
 
-    leaf_remote = report.remote_fraction(leaf_name, 12) \
+    leaf_remote = report.remote_fraction(leaf_name, leaf_id) \
         if leaf_name in report.by_activity else 0.0
+    leaf_hops = nodes - 1 if topology == "line" else 1
+    hops_word = _HOP_WORDS.get(leaf_hops, str(leaf_hops))
+    hops_word += " hop" if leaf_hops == 1 else " hops"
     return ExperimentResult(
         exp_id="ext_collection",
         title="Multihop collection: per-origin network energy",
@@ -76,9 +129,10 @@ def run(seed: int = 5, duration_ns: int = seconds(30)) -> ExperimentResult:
             "leaf_remote_fraction": leaf_remote,
             "by_activity_mj": {k: to_mj(v)
                                for k, v in report.by_activity.items()},
+            **network_sweep_data(report),
         },
         comparisons=[
-            ("leaf samples traverse two hops (bool)", 1.0,
-             1.0 if 12 in {o for o, _ in root.delivered} else 0.0),
+            (f"leaf samples traverse {hops_word} (bool)", 1.0,
+             1.0 if leaf_id in {o for o, _ in root.delivered} else 0.0),
         ],
     )

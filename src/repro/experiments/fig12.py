@@ -30,25 +30,56 @@ from repro.units import ms, seconds, to_mj, to_ms
 LANE_IDS = {"cpu": RES_CPU, "cc2420": RES_RADIO, "led1": RES_LED1,
             "led2": RES_LED2}
 
+#: Lower bounds validated before any sweep worker forks.
+PARAM_MINIMUMS = {"nodes": 2}
 
-def run(seed: int = 0, duration_ns: int = seconds(4)) -> ExperimentResult:
+
+def run(seed: int = 0, duration_ns: int = seconds(4),
+        nodes: int = 2) -> ExperimentResult:
     from repro.apps.bounce import BounceApp
+    from repro.core.netmerge import NetworkMerger
+    from repro.experiments.common import network_sweep_data
 
+    if nodes < 2:
+        raise ValueError("Bounce needs at least 2 nodes")
+    # The paper's pair is nodes 1 and 4; larger deployments extend to a
+    # ring 1 -> 2 -> ... -> n -> 1, each node bouncing with its
+    # successor, so the cross-node attribution scales with node count.
+    node_ids = [1, 4] if nodes == 2 else list(range(1, nodes + 1))
     network = Network(seed=seed)
-    node1 = network.add_node(NodeConfig(node_id=1, mac="csma"))
-    node4 = network.add_node(NodeConfig(node_id=4, mac="csma"))
+    for node_id in node_ids:
+        network.add_node(NodeConfig(node_id=node_id, mac="csma"))
     # Staggered originations (as in the real app): simultaneous first
     # sends would collide inside the TX-calibration blind window.
-    app1 = BounceApp(peer_id=4, originate_delay_ns=ms(250))
-    app4 = BounceApp(peer_id=1, originate_delay_ns=ms(650))
-    network.boot_all({1: app1.start, 4: app4.start})
+    apps = {}
+    for index, node_id in enumerate(node_ids):
+        peer = node_ids[(index + 1) % len(node_ids)]
+        apps[node_id] = BounceApp(
+            peer_id=peer, originate_delay_ns=ms(250 + 400 * index))
+    network.boot_all({nid: app.start for nid, app in apps.items()})
     network.run(duration_ns)
 
+    node1 = network.node(node_ids[0])
+    # The remote activity observed on node 1 belongs to its ring
+    # predecessor — the node that originates *to* node 1 (with two
+    # nodes, predecessor and successor coincide: the paper's node 4).
+    peer_id = node_ids[-1]
+    app1 = apps[node_ids[0]]
     timeline = node1.timeline()
     emap = node1.energy_map(timeline, fold_proxies=True)
     by_act = emap.energy_by_activity()
-    remote_mj = to_mj(by_act.get("4:BounceApp", 0.0))
+    remote_mj = to_mj(by_act.get(f"{peer_id}:BounceApp", 0.0))
     local_mj = to_mj(by_act.get("1:BounceApp", 0.0))
+
+    # Network-wide spread: fold every node's map (node 1's computed
+    # above) so a node-count sweep reports how each origin's cost
+    # distributes over the ring.
+    merger = NetworkMerger()
+    merger.add(node_ids[0], emap)
+    for node_id in node_ids[1:]:
+        merger.add(node_id,
+                   network.node(node_id).energy_map(fold_proxies=True))
+    report = merger.report()
 
     # (a) a 2-second window of node 1.
     window_a = (seconds(1.5), seconds(3.5))
@@ -57,8 +88,8 @@ def run(seed: int = 0, duration_ns: int = seconds(4)) -> ExperimentResult:
         width=96, title="(a) node 1, 2-second window")
 
     # (b) reception detail: center on a bind of the pxy_RX proxy to the
-    # remote activity (node 4's label in the packet).
-    remote_label = node1.registry.label(4, "BounceApp")
+    # remote activity (the peer's label in the packet).
+    remote_label = node1.registry.label(peer_id, "BounceApp")
     rx_bind_ns = None
     for entry in node1.entries():
         if (entry.type == TYPE_ACT_BIND and entry.res_id == RES_CPU
@@ -71,14 +102,15 @@ def run(seed: int = 0, duration_ns: int = seconds(4)) -> ExperimentResult:
         parts.append(render_lanes(
             lanes_for(node1, timeline, LANE_IDS, *window_b), *window_b,
             width=96,
-            title=f"(b) packet reception carrying 4:BounceApp, around "
+            title=f"(b) packet reception carrying {peer_id}:BounceApp, "
+                  f"around "
                   f"{to_ms(rx_bind_ns):.1f} ms"))
 
     # (c) transmission detail: the radio painted with the remote activity
     # while node 1 bounces node 4's packet back.
     tx_start_ns = None
     for seg in timeline.activity_segments(RES_RADIO):
-        if (node1.registry.name_of(seg.label) == "4:BounceApp"
+        if (node1.registry.name_of(seg.label) == f"{peer_id}:BounceApp"
                 and (rx_bind_ns is None or seg.t0_ns > rx_bind_ns)):
             tx_start_ns = seg.t0_ns
             break
@@ -87,11 +119,12 @@ def run(seed: int = 0, duration_ns: int = seconds(4)) -> ExperimentResult:
         parts.append(render_lanes(
             lanes_for(node1, timeline, LANE_IDS, *window_c), *window_c,
             width=96,
-            title="(c) node 1 transmitting as part of node 4's activity"))
+            title=f"(c) node 1 transmitting as part of node {peer_id}'s "
+                  f"activity"))
 
     summary = format_table(
         ("activity", "E on node 1 (mJ)"),
-        [("4:BounceApp (remote)", f"{remote_mj:.3f}"),
+        [(f"{peer_id}:BounceApp (remote)", f"{remote_mj:.3f}"),
          ("1:BounceApp (local)", f"{local_mj:.3f}")],
         title="energy attribution on node 1 (proxies folded)")
     parts.append(summary)
@@ -102,12 +135,13 @@ def run(seed: int = 0, duration_ns: int = seconds(4)) -> ExperimentResult:
         text="\n\n".join(parts),
         data={
             "node1_bounces": app1.bounces,
-            "node4_bounces": app4.bounces,
+            "peer_bounces": apps[peer_id].bounces,
             "node1_received": app1.received,
             "remote_activity_mj_on_node1": remote_mj,
             "local_activity_mj_on_node1": local_mj,
             "rx_bind_found": rx_bind_ns is not None,
             "remote_radio_segment_found": tx_start_ns is not None,
+            **network_sweep_data(report),
         },
         comparisons=[
             # The paper gives no absolute numbers for Bounce; the

@@ -10,17 +10,33 @@ per-point results into a single :class:`SweepResult`:
 * paper-vs-measured comparisons averaged over the fleet;
 * a per-point digest table plus one combined sweep digest.
 
+Aggregation is *streaming*: worker results are folded into running
+Welford mean/variance state (plus min/max) in grid order as they arrive,
+and each point's payload is dropped as soon as it is folded — the runner
+retains one :class:`PointSummary` (describe + digest + wall time) per
+point, so a campaign's memory footprint is independent of how much data
+each experiment reports or how large the grid is.
+
+Re-running overlapping campaigns is cheap: pass ``cache_dir`` and every
+finished point is written to a **digest-keyed on-disk cache**.  A point's
+key is the sha256 of (cache format, a fingerprint of the ``repro``
+source tree, experiment id, seed, overrides) — so a second identical
+sweep simulates nothing, a grid extension simulates only the new points,
+and *any* source change invalidates every prior entry automatically.
+Cached payloads are JSON with a round-trip check at store time, so a
+point folded from cache is byte-identical to the freshly simulated one
+(the per-point digests in the report let anyone re-verify).
+
 Determinism is the design center, not an afterthought:
 
 * a point is *fully* described by ``(exp_id, seed, overrides)`` — workers
   share no state, inherit no RNG, and each run derives every random
   stream from its own seed (see :mod:`repro.sim.rng`);
-* results are reduced in grid order regardless of which worker finished
-  first, and per-point payloads are hashed, so serial and parallel
-  execution are verifiably byte-identical (``tests/test_determinism.py``
-  proves it; the per-point digests in the report let anyone re-check);
-* aggregation uses ``math.fsum``, so reduction order can never leak into
-  the reported statistics.
+* results are folded in grid order regardless of which worker finished
+  first (``imap`` preserves dispatch order), so serial and parallel
+  execution are verifiably byte-identical — same per-point digests, same
+  aggregates (``tests/test_determinism.py`` proves it; the CI smoke
+  sweep re-checks on every push).
 
 Grid points run via :func:`repro.experiments.run_experiment`, so override
 validation and type coercion happen once, up front, before any worker is
@@ -30,11 +46,14 @@ forked — a bad ``--set`` key fails in milliseconds, not after a fleet ran.
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.core.report import format_table
 from repro.errors import SweepError
@@ -47,6 +66,9 @@ from repro.experiments.common import experiment_params, run_experiment
 DEFAULT_START_METHOD = (
     "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 )
+
+#: Bump when the cached payload layout changes; old entries then miss.
+CACHE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -70,13 +92,32 @@ class SweepPoint:
 
 @dataclass
 class PointResult:
-    """What one grid point produced (the picklable reduction payload)."""
+    """What one grid point produced (the picklable reduction payload).
+
+    Folded into the running aggregates and then dropped; only a
+    :class:`PointSummary` survives in the sweep report.
+    """
 
     point: SweepPoint
     data: dict[str, Any]
     comparisons: list[tuple[str, float, float]]
     digest: str  # sha256 of the rendered experiment output
     wall_s: float
+    from_cache: bool = False
+
+    @property
+    def seed(self) -> int:
+        return self.point.seed
+
+
+@dataclass(frozen=True)
+class PointSummary:
+    """The per-point residue kept after folding: identity + provenance."""
+
+    point: SweepPoint
+    digest: str
+    wall_s: float
+    from_cache: bool = False
 
     @property
     def seed(self) -> int:
@@ -106,24 +147,120 @@ class ComparisonStats:
     stddev: float
 
 
+# -- streaming aggregation --------------------------------------------------
+
+
+class RunningStat:
+    """Welford's online mean/variance plus min/max — O(1) state per
+    metric, numerically stable, and deterministic for a fixed fold
+    order (the runner always folds in grid order)."""
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def stddev(self) -> float:
+        if self.n <= 1:
+            return 0.0
+        return math.sqrt(self._m2 / (self.n - 1))
+
+    @property
+    def ci95(self) -> float:
+        if self.n <= 1:
+            return 0.0
+        return 1.96 * self.stddev / math.sqrt(self.n)
+
+    def stats(self, name: str) -> MetricStats:
+        return MetricStats(
+            name=name, n=self.n, mean=self.mean, stddev=self.stddev,
+            ci95=self.ci95, min=self.min, max=self.max,
+        )
+
+
+class SweepAggregator:
+    """Folds :class:`PointResult` payloads into running fleet statistics.
+
+    One instance per campaign; :meth:`fold` is called once per point in
+    grid order, after which the point's payload can be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, RunningStat] = {}
+        self._comparison_order: list[str] = []
+        self._comparison_paper: dict[str, float] = {}
+        self._comparisons: dict[str, RunningStat] = {}
+
+    def fold(self, result: PointResult) -> None:
+        for name, value in numeric_leaves(result.data).items():
+            stat = self._metrics.get(name)
+            if stat is None:
+                stat = self._metrics[name] = RunningStat()
+            stat.add(value)
+        for name, paper, value in result.comparisons:
+            stat = self._comparisons.get(name)
+            if stat is None:
+                stat = self._comparisons[name] = RunningStat()
+                self._comparison_order.append(name)
+                self._comparison_paper[name] = paper
+            stat.add(value)
+
+    def metrics(self) -> list[MetricStats]:
+        return [self._metrics[name].stats(name)
+                for name in sorted(self._metrics)]
+
+    def comparisons(self) -> list[ComparisonStats]:
+        stats = []
+        for name in self._comparison_order:
+            stat = self._comparisons[name]
+            stats.append(ComparisonStats(
+                name=name, paper=self._comparison_paper[name],
+                mean=stat.mean, stddev=stat.stddev,
+            ))
+        return stats
+
+
 @dataclass
 class SweepResult:
     """The aggregated outcome of a whole campaign."""
 
     exp_id: str
-    points: list[PointResult]
+    points: list[PointSummary]
     jobs: int
     wall_s: float
     metrics: list[MetricStats] = field(default_factory=list)
     comparisons: list[ComparisonStats] = field(default_factory=list)
+    cache_dir: Optional[str] = None
+    cache_hits: int = 0
 
     @property
     def seeds(self) -> list[int]:
         return [point.seed for point in self.points]
 
     @property
+    def simulated(self) -> int:
+        """Points actually run this campaign (not served from cache)."""
+        return len(self.points) - self.cache_hits
+
+    @property
     def serial_wall_s(self) -> float:
-        """Sum of per-point wall times (the serial-execution estimate)."""
+        """Sum of per-point wall times (the serial-execution estimate;
+        cached points contribute their originally recorded time)."""
         return math.fsum(point.wall_s for point in self.points)
 
     def digest(self) -> str:
@@ -146,8 +283,13 @@ class SweepResult:
             f"== sweep: {self.exp_id} over {len(self.points)} points ==",
             f"-- mode: {mode}; wall {self.wall_s:.2f} s "
             f"(serial estimate {self.serial_wall_s:.2f} s)",
-            f"-- sweep digest: {self.digest()}",
         ]
+        if self.cache_dir is not None:
+            header.append(
+                f"-- cache: {self.cache_hits} reused, "
+                f"{self.simulated} simulated ({self.cache_dir})"
+            )
+        header.append(f"-- sweep digest: {self.digest()}")
         parts = ["\n".join(header)]
         if self.metrics:
             rows = [
@@ -170,12 +312,121 @@ class SweepResult:
                 title="paper vs measured (fleet mean)"))
         rows = [
             (point.point.describe(), point.digest[:16],
-             f"{point.wall_s:.3f}")
+             f"{point.wall_s:.3f}",
+             "cache" if point.from_cache else "run")
             for point in self.points
         ]
         parts.append(format_table(
-            ("point", "digest", "wall (s)"), rows, title="per-point digests"))
+            ("point", "digest", "wall (s)", "source"), rows,
+            title="per-point digests"))
         return "\n\n".join(parts)
+
+
+# -- on-disk result cache ---------------------------------------------------
+
+
+_code_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """sha256 over every ``repro`` source file (path + contents).
+
+    The cache-invalidation rule: a cached point is valid only for the
+    exact source tree that produced it.  Editing *any* module — an
+    experiment, a driver, the simulator — changes the fingerprint and
+    every prior cache entry silently misses.  Computed once per process.
+    """
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(str(path.relative_to(root)).encode("utf-8"))
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+        _code_fingerprint_cache = hasher.hexdigest()
+    return _code_fingerprint_cache
+
+
+class SweepCache:
+    """Digest-keyed per-point result store under one directory.
+
+    Layout: ``<root>/<exp_id>/<point-key>.json`` where the key hashes
+    (format version, code fingerprint, exp_id, seed, overrides).  The
+    cache is strictly best-effort: loads tolerate missing or corrupt
+    files and stores tolerate unwritable or full targets (both just
+    miss — a broken cache slows a campaign down, never kills or
+    corrupts it).  Stores are atomic (write + rename) and skipped when
+    the payload does not round-trip through JSON exactly, so a cache
+    hit always folds the same bytes a fresh run would have.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def point_key(self, point: SweepPoint) -> str:
+        # JSON-encode the identity so delimiter characters inside
+        # override values can never collide two distinct points.
+        identity = json.dumps(
+            [CACHE_FORMAT, code_fingerprint(), point.exp_id, point.seed,
+             [[key, value] for key, value in point.overrides]],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+    def _path(self, point: SweepPoint) -> Path:
+        return self.root / point.exp_id / f"{self.point_key(point)}.json"
+
+    def has(self, point: SweepPoint) -> bool:
+        """Cheap existence probe (no payload parsing) — used to plan the
+        pool before any payload is held in memory."""
+        try:
+            return self._path(point).is_file()
+        except OSError:
+            return False
+
+    def load(self, point: SweepPoint) -> Optional[PointResult]:
+        try:
+            payload = json.loads(self._path(point).read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        try:
+            return PointResult(
+                point=point,
+                data=payload["data"],
+                comparisons=[tuple(c) for c in payload["comparisons"]],
+                digest=payload["digest"],
+                wall_s=payload["wall_s"],
+                from_cache=True,
+            )
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, result: PointResult) -> bool:
+        payload = {
+            "describe": result.point.describe(),
+            "data": result.data,
+            "comparisons": [list(c) for c in result.comparisons],
+            "digest": result.digest,
+            "wall_s": result.wall_s,
+        }
+        try:
+            text = json.dumps(payload)
+        except (TypeError, ValueError):
+            return False  # non-JSON payload: run it fresh every time
+        if json.loads(text) != payload:
+            return False  # lossy round-trip would break hit/miss identity
+        try:
+            path = self._path(result.point)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(text, "utf-8")
+            tmp.replace(path)
+        except OSError:
+            return False  # unwritable cache must not kill the campaign
+        return True
 
 
 # -- grid -----------------------------------------------------------------
@@ -246,27 +497,75 @@ def run_point(point: SweepPoint) -> PointResult:
     )
 
 
+def _merge_in_grid_order(
+    points: Sequence[SweepPoint],
+    hits: Sequence[bool],
+    cache: Optional["SweepCache"],
+    fresh: Iterator[PointResult],
+) -> Iterator[PointResult]:
+    """Interleave cached and freshly simulated results back into grid
+    order (``fresh`` yields misses in their dispatch order, which is the
+    grid order of the misses).  Cached payloads load lazily, one at a
+    time, so a warm rerun never holds more than the point being folded;
+    an entry that probed present but fails to parse (corrupt file) is
+    simulated inline — a slow point, never a lost campaign."""
+    for index, point in enumerate(points):
+        if hits[index]:
+            result = cache.load(point)
+            yield result if result is not None else run_point(point)
+        else:
+            yield next(fresh)
+
+
 def run_sweep(
     exp_id: str,
     seeds: Iterable[int],
     overrides: Optional[Mapping[str, Sequence[str]]] = None,
     jobs: int = 1,
     start_method: Optional[str] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> SweepResult:
-    """Run a campaign and aggregate it.
+    """Run a campaign and aggregate it, streaming.
 
     ``jobs <= 1`` runs in-process (the serial reference); ``jobs > 1``
-    fans points out to a worker pool.  Either way the per-point payloads
-    are identical — the pool only changes wall time.
+    fans points out to a worker pool; ``jobs == 0`` auto-detects the
+    CPU count.  Either way the per-point payloads are identical and are
+    folded in grid order — the pool only changes wall time.
+
+    With ``cache_dir`` set, previously simulated points load from the
+    digest-keyed cache and only the rest are dispatched; fresh results
+    are stored back for the next campaign.
     """
     points = expand_grid(exp_id, seeds, overrides)
     start = time.perf_counter()
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    # Plan with a cheap existence probe; payloads load one at a time
+    # during the fold, so a warm rerun stays as lean as a cold one.
+    hits = [cache is not None and cache.has(point) for point in points]
+    misses = [point for point, hit in zip(points, hits) if not hit]
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     # jobs records how the campaign actually ran (for the provenance
-    # header): the pool is never wider than the grid, and a single-point
-    # or jobs<=1 campaign runs serially in-process.
-    jobs = max(1, min(jobs, len(points)))
+    # header): the pool is never wider than the work, and a fully-cached
+    # or jobs<=1 campaign runs in-process.
+    jobs = max(1, min(jobs, len(misses))) if misses else 1
+
+    aggregator = SweepAggregator()
+    summaries: list[PointSummary] = []
+
+    def fold(result: PointResult) -> None:
+        aggregator.fold(result)
+        if cache is not None and not result.from_cache:
+            cache.store(result)
+        summaries.append(PointSummary(
+            point=result.point, digest=result.digest,
+            wall_s=result.wall_s, from_cache=result.from_cache,
+        ))
+
     if jobs == 1:
-        results = [run_point(point) for point in points]
+        for result in _merge_in_grid_order(
+                points, hits, cache, map(run_point, misses)):
+            fold(result)
     else:
         context = multiprocessing.get_context(
             start_method or DEFAULT_START_METHOD
@@ -274,15 +573,19 @@ def run_sweep(
         with context.Pool(processes=jobs) as pool:
             # chunksize=1: points can have very uneven durations (long
             # seeds, heavy override combos); fine-grained dispatch keeps
-            # the fleet busy.  map() preserves grid order on collect.
-            results = pool.map(run_point, points, chunksize=1)
+            # the fleet busy.  imap() yields in dispatch order, so the
+            # fold sees grid order no matter which worker finishes first.
+            fresh = pool.imap(run_point, misses, chunksize=1)
+            for result in _merge_in_grid_order(points, hits, cache, fresh):
+                fold(result)
     wall_s = time.perf_counter() - start
-    sweep = SweepResult(
-        exp_id=exp_id, points=results, jobs=jobs, wall_s=wall_s,
+    return SweepResult(
+        exp_id=exp_id, points=summaries, jobs=jobs, wall_s=wall_s,
+        metrics=aggregator.metrics(),
+        comparisons=aggregator.comparisons(),
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        cache_hits=sum(1 for s in summaries if s.from_cache),
     )
-    sweep.metrics = aggregate_metrics(results)
-    sweep.comparisons = aggregate_comparisons(results)
-    return sweep
 
 
 # -- aggregation ----------------------------------------------------------
@@ -306,29 +609,13 @@ def numeric_leaves(data: Mapping[str, Any], prefix: str = "") -> dict[str, float
     return leaves
 
 
-def _stats(name: str, values: Sequence[float]) -> MetricStats:
-    n = len(values)
-    mean = math.fsum(values) / n
-    if n > 1:
-        variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
-        stddev = math.sqrt(variance)
-        ci95 = 1.96 * stddev / math.sqrt(n)
-    else:
-        stddev = 0.0
-        ci95 = 0.0
-    return MetricStats(
-        name=name, n=n, mean=mean, stddev=stddev, ci95=ci95,
-        min=min(values), max=max(values),
-    )
-
-
 def aggregate_metrics(results: Sequence[PointResult]) -> list[MetricStats]:
-    """Mean/stddev/CI for every numeric leaf present in any point."""
-    values: dict[str, list[float]] = {}
+    """Mean/stddev/CI for every numeric leaf present in any point (the
+    batch wrapper over :class:`SweepAggregator`)."""
+    aggregator = SweepAggregator()
     for result in results:
-        for name, value in numeric_leaves(result.data).items():
-            values.setdefault(name, []).append(value)
-    return [_stats(name, values[name]) for name in sorted(values)]
+        aggregator.fold(result)
+    return aggregator.metrics()
 
 
 def aggregate_comparisons(
@@ -336,21 +623,7 @@ def aggregate_comparisons(
 ) -> list[ComparisonStats]:
     """Fleet means of the paper-vs-measured comparisons, in the order the
     experiment reports them."""
-    order: list[str] = []
-    paper_values: dict[str, float] = {}
-    measured: dict[str, list[float]] = {}
+    aggregator = SweepAggregator()
     for result in results:
-        for name, paper, value in result.comparisons:
-            if name not in measured:
-                order.append(name)
-                paper_values[name] = paper
-                measured[name] = []
-            measured[name].append(value)
-    stats = []
-    for name in order:
-        s = _stats(name, measured[name])
-        stats.append(ComparisonStats(
-            name=name, paper=paper_values[name],
-            mean=s.mean, stddev=s.stddev,
-        ))
-    return stats
+        aggregator.fold(result)
+    return aggregator.comparisons()

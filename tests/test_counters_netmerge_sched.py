@@ -6,8 +6,10 @@ from repro.core.accounting import EnergyMap
 from repro.core.counters import CounterAccountant
 from repro.core.labels import ActivityLabel
 from repro.core.netmerge import (
+    NetworkMerger,
     activities_by_origin,
     merge_energy_maps,
+    origin_of,
 )
 from repro.core.sched_ext import (
     EnergyBudgetScheduler,
@@ -134,6 +136,64 @@ def test_remote_fraction_butterfly():
     # 5/6 of the flood's energy was spent away from its origin.
     assert report.remote_fraction("1:Flood", 1) == pytest.approx(5 / 6)
     assert activities_by_origin(report, 1) == ["1:Flood"]
+
+
+def test_remote_fraction_zero_energy_activity_is_zero():
+    """An activity that never consumed anything has no remote share —
+    no division-by-zero, just 0.0."""
+    report = merge_energy_maps({
+        1: _map_with([("Radio", "1:Flood", 0.0)]),
+        2: _map_with([("Radio", "1:Flood", 0.0)]),
+    })
+    assert report.remote_fraction("1:Flood", 1) == 0.0
+    # Unknown activities behave the same way.
+    assert report.remote_fraction("9:Ghost", 9) == 0.0
+    assert report.remote_fractions()["1:Flood"] == 0.0
+
+
+def test_spread_aggregates_per_node_per_activity():
+    maps = {
+        1: _map_with([("Radio", "1:Flood", 0.001),
+                      ("CPU", "1:Flood", 0.002),
+                      ("Radio", "2:App", 0.004)]),
+        2: _map_with([("Radio", "1:Flood", 0.003)]),
+    }
+    report = merge_energy_maps(maps)
+    # Components merge within a node; nodes stay separate.
+    assert report.spread["1:Flood"] == {
+        1: pytest.approx(0.003), 2: pytest.approx(0.003)}
+    assert report.spread["2:App"] == {1: pytest.approx(0.004)}
+    assert report.total_j == pytest.approx(0.010)
+    assert report.node_ids() == [1, 2]
+    assert report.remote_fractions() == {
+        "1:Flood": pytest.approx(0.5),
+        "2:App": pytest.approx(1.0),  # all of 2:App's cost landed on node 1
+    }
+
+
+def test_incremental_merger_equals_batch_merge():
+    maps = {
+        1: _map_with([("Radio", "1:Flood", 0.001),
+                      ("Const.", "Const.", 0.05)]),
+        4: _map_with([("Radio", "1:Flood", 0.002),
+                      ("CPU", "4:App", 0.003)]),
+    }
+    merger = NetworkMerger()
+    for node_id, emap in maps.items():
+        merger.add(node_id, emap)
+    incremental = merger.report()
+    batch = merge_energy_maps(maps)
+    assert incremental.per_node == batch.per_node
+    assert incremental.by_activity == batch.by_activity
+    assert incremental.spread == batch.spread
+    assert incremental.total_j == batch.total_j
+
+
+def test_origin_of_parses_rendered_activity_names():
+    assert origin_of("12:Collect") == 12
+    assert origin_of("Const.") is None
+    assert origin_of("pxy_RX") is None
+    assert origin_of("weird:name") is None
 
 
 # -- energy-aware scheduling --------------------------------------------------
