@@ -1,0 +1,189 @@
+"""Engine/pipeline throughput baseline: the perf-trajectory benchmark.
+
+Measures the four numbers that the simulator fast path is judged by and
+writes them to ``results/BENCH_engine.json`` so future PRs have a
+machine-readable baseline:
+
+* ``engine_events_per_sec`` — raw calendar-queue throughput on a
+  synthetic workload (bursty same-instant events, far-future timer arms,
+  cancellations);
+* ``log_entries_per_sec`` — decode → timeline → accounting throughput of
+  the streaming pipeline over a real Blink log;
+* ``sweep_points_per_sec_serial`` — end-to-end table3 points per second
+  on the 64-point reference grid (the number the regression gate
+  watches);
+* ``parallel_speedup_jobs2`` — wall-clock speedup of the same grid at
+  ``--jobs 2`` (only meaningful with >= 2 cores; the JSON records
+  ``cpu_count`` so a single-core box is not read as a regression).
+
+``--check`` compares a fresh serial-throughput measurement against the
+committed baseline and exits nonzero if it regressed by more than the
+tolerance (default 25 %, the CI gate).  Runnable standalone
+(``PYTHONPATH=src python benchmarks/bench_engine.py [--check]``) or via
+pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.core.accounting import stream_energy_map
+from repro.core.logger import iter_entries
+from repro.sim.engine import NEAR_WINDOW_NS, Simulator
+from repro.sim.sweep import run_sweep
+from repro.units import seconds
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+#: The reference sweep grid: 64 table3 points with the paper's noise
+#: sources on (full-length runs, so the campaign is realistic work).
+#: benchmarks/bench_sweep.py imports these — keep the grid defined once.
+SWEEP_SEEDS = range(64)
+SWEEP_OVERRIDES = {
+    "duration_ns": [str(seconds(48))],
+    "device_variation": ["0.02"],
+    "icount_jitter_pulses": ["1.0"],
+}
+
+#: Serial throughput may regress by at most this factor before --check
+#: fails (the ISSUE-3 CI gate; override with REPRO_BENCH_TOLERANCE).
+DEFAULT_TOLERANCE = 0.25
+
+
+def bench_engine_events(total: int = 60_000) -> float:
+    """Raw scheduler throughput: a synthetic mix of same-instant bursts,
+    short hops, far-future arms, and cancellations."""
+    sim = Simulator()
+    fired = [0]
+
+    def hop(step: int) -> None:
+        fired[0] += 1
+        if fired[0] >= total:
+            return
+        # A burst at the same instant, a short hop, and a far arm whose
+        # predecessor gets cancelled — the regimes the calendar queue
+        # splits between buckets and the overflow heap.
+        sim.call_now(lambda: None)
+        doomed = sim.after(2 * NEAR_WINDOW_NS, lambda: None)
+        doomed.cancel()
+        sim.after(step % 997 + 1, hop, step + 1)
+
+    sim.after(1, hop, 0)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return sim.events_executed / wall
+
+
+def bench_log_pipeline() -> tuple[float, int]:
+    """Streaming decode→timeline→accounting throughput on a Blink log."""
+    from repro.experiments.common import run_blink
+
+    node, _, sim = run_blink(0, duration_ns=seconds(48))
+    timeline = node.timeline()  # marks the log end
+    regression = node.regression(timeline)
+    raw = node.logger.raw_bytes()
+    entry_count = len(raw) // 12
+    from repro.tos.node import COMPONENT_NAMES
+
+    start = time.perf_counter()
+    rounds = 20
+    for _ in range(rounds):
+        stream_energy_map(
+            iter_entries(raw), regression, node.registry, COMPONENT_NAMES,
+            node.platform.icount.nominal_energy_per_pulse_j,
+            idle_name=node.registry.name_of(node.idle),
+            end_time_ns=timeline.end_time_ns,
+            single_res_ids=timeline.single_device_ids(),
+            multi_res_ids=timeline.multi_device_ids(),
+        )
+    wall = time.perf_counter() - start
+    return entry_count * rounds / wall, entry_count
+
+
+def bench_sweep_grid() -> tuple[float, float, str]:
+    """Serial points/sec and jobs=2 speedup on the 64-point grid."""
+    serial = run_sweep("table3", SWEEP_SEEDS, SWEEP_OVERRIDES, jobs=1)
+    parallel = run_sweep("table3", SWEEP_SEEDS, SWEEP_OVERRIDES, jobs=2)
+    assert serial.digest() == parallel.digest(), \
+        "parallel sweep diverged from serial reference"
+    speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    return len(serial.points) / serial.wall_s, speedup, serial.digest()
+
+
+def run_benchmarks() -> dict:
+    events_per_sec = bench_engine_events()
+    entries_per_sec, entry_count = bench_log_pipeline()
+    points_per_sec, speedup, digest = bench_sweep_grid()
+    return {
+        "engine_events_per_sec": round(events_per_sec),
+        "log_entries_per_sec": round(entries_per_sec),
+        "log_entry_count": entry_count,
+        "sweep_points_per_sec_serial": round(points_per_sec, 2),
+        "sweep_grid_points": len(list(SWEEP_SEEDS)),
+        "parallel_speedup_jobs2": round(speedup, 3),
+        "sweep_digest": digest,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def check_against_baseline(numbers: dict) -> list[str]:
+    """The regression gate: serial table3 throughput must stay within
+    tolerance of the committed baseline; the determinism digest must
+    match it exactly when the grid definition is unchanged."""
+    failures: list[str] = []
+    if not BASELINE_PATH.is_file():
+        return [f"no committed baseline at {BASELINE_PATH}"]
+    baseline = json.loads(BASELINE_PATH.read_text("utf-8"))
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE",
+                                     DEFAULT_TOLERANCE))
+    floor = baseline["sweep_points_per_sec_serial"] * (1.0 - tolerance)
+    measured = numbers["sweep_points_per_sec_serial"]
+    if measured < floor:
+        failures.append(
+            f"serial table3 throughput regressed: {measured:.2f} points/s "
+            f"< {floor:.2f} (baseline "
+            f"{baseline['sweep_points_per_sec_serial']:.2f} - {tolerance:.0%})"
+        )
+    if baseline.get("sweep_grid_points") == numbers["sweep_grid_points"] \
+            and baseline.get("sweep_digest") != numbers["sweep_digest"]:
+        failures.append(
+            "sweep digest diverged from the committed baseline grid — "
+            "determinism break, not a perf regression"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    numbers = run_benchmarks()
+    print(json.dumps(numbers, indent=2))
+    if "--check" in argv:
+        failures = check_against_baseline(numbers)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("baseline check ok")
+        return 0
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(numbers, indent=2) + "\n", "utf-8")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+def test_engine_bench_smoke():
+    """Tier-1 smoke: the benchmark machinery runs and its numbers are
+    sane (positive throughputs, digest-stable sweeps)."""
+    events_per_sec = bench_engine_events(total=2_000)
+    assert events_per_sec > 0
+    entries_per_sec, entry_count = bench_log_pipeline()
+    assert entries_per_sec > 0 and entry_count > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -18,19 +18,22 @@ from repro.core.report import format_table
 from repro.sim.sweep import run_sweep
 from repro.units import seconds
 
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_engine import SWEEP_OVERRIDES, SWEEP_SEEDS  # noqa: E402
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-SEEDS = range(16)
+#: The 64-point reference grid — one definition, shared with
+#: benchmarks/bench_engine.py so the two benches (and the --check
+#: digest cross-check) can never drift onto different grids.
+SEEDS = SWEEP_SEEDS
+OVERRIDES = SWEEP_OVERRIDES
 # At least 2 workers so the pool path is always exercised, even on a
-# single-core box (where the speedup column just reads ~1.0).
+# single-core box (where parallelism cannot beat serial — the report
+# records the core count so the speedup column is read in context).
 JOBS = max(2, min(4, os.cpu_count() or 1))
-OVERRIDES = {
-    # Full-length runs with the paper's noise sources on, so the sweep
-    # is both realistic work and statistically non-trivial.
-    "duration_ns": [str(seconds(48))],
-    "device_variation": ["0.02"],
-    "icount_jitter_pulses": ["1.0"],
-}
 
 
 def bench_sweep() -> str:
@@ -40,14 +43,17 @@ def bench_sweep() -> str:
         "parallel sweep diverged from serial reference"
 
     speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
+    per_point_ms = 1000 * serial.wall_s / len(serial.points)
     rows = [
         ("serial", "1", f"{serial.wall_s:.3f}", "1.00"),
         ("parallel", str(JOBS), f"{parallel.wall_s:.3f}", f"{speedup:.2f}"),
     ]
     led0 = parallel.metric("energy_by_pair_mj.LED0/1:Red")
     report = "\n\n".join([
-        f"== sweep bench: table3 x {len(serial.points)} seeds ==\n"
-        f"-- digests match: {serial.digest()[:16]}",
+        f"== sweep bench: table3 x {len(serial.points)} seeds "
+        f"({os.cpu_count()} cpu) ==\n"
+        f"-- digests match: {serial.digest()[:16]}\n"
+        f"-- serial: {per_point_ms:.2f} ms/point",
         format_table(("mode", "jobs", "wall (s)", "speedup"), rows,
                      title="serial vs parallel wall time"),
         f"E[LED0/1:Red] = {led0.mean:.2f} +/- {led0.stddev:.2f} mJ "

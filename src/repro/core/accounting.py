@@ -62,6 +62,9 @@ CONST_KEY = "Const."
 #: Pseudo-activity for devices with no activity instrumentation.
 UNTRACKED_KEY = "(untracked)"
 
+#: The (component, activity) pair the constant draw is charged to.
+_CONST_PAIR = (CONST_KEY, CONST_KEY)
+
 
 def _overlapping(spans, t0: int, t1: int):
     """Yield ``(span, overlap_ns)`` for time-ordered spans intersecting
@@ -228,6 +231,17 @@ class EnergyAccumulator:
                 column.name,
                 regression.power_w[column.name],
             )
+        # Per-vector cover plan: state vectors are interned by the
+        # timeline tracker, so the (res_id, component, power) triples an
+        # interval needs are resolved once per distinct vector instead of
+        # probing every (res_id, value) pair of every interval.  Only the
+        # column lookup is cached — tracker kinds stay dynamic (a device
+        # can appear mid-stream on the inference path).
+        self._vector_plan: dict[tuple[tuple[int, int], ...],
+                                tuple[tuple[int, str, float], ...]] = {}
+        self._const_power_w = (
+            regression.const_power_w if regression is not None else 0.0
+        )
         # Bind tracking is only needed when proxy usage is folded onto
         # the bound activity; without it the stream stays strictly
         # bounded (no unresolved-segment retention).
@@ -272,8 +286,9 @@ class EnergyAccumulator:
         self.stream.feed(entry)
 
     def feed_all(self, entries: Iterable) -> EnergyMap:
+        feed = self.stream.feed
         for entry in entries:
-            self.stream.feed(entry)
+            feed(entry)
         return self.finish()
 
     def _on_segment(self, segment: ActivitySegment) -> None:
@@ -335,20 +350,34 @@ class EnergyAccumulator:
         """
         queue = self._pending_single.get(res_id)
         shares: list[tuple[ActivitySegment, int]] = []
+        covered = 0
         if queue:
             while queue and queue[0].t1_ns <= t0:
                 queue.popleft()
                 self._note_pending(-1)
-            shares.extend(_overlapping(queue, t0, t1))
+            # Inlined _overlapping: this cover runs per (interval x
+            # device column), and the fused loop also accumulates the
+            # covered sum instead of re-walking the share list.
+            append = shares.append
+            for span in queue:
+                s0 = span.t0_ns
+                if s0 >= t1:
+                    break
+                s1 = span.t1_ns
+                lo = s0 if s0 > t0 else t0
+                hi = s1 if s1 < t1 else t1
+                if hi > lo:
+                    append((span, hi - lo))
+                    covered += hi - lo
         # The open span has a provisional t1; it reaches at least the
         # window end, so clamp it by hand.
-        tracker = self.stream.single_tracker(res_id)
+        tracker = self.stream._singles.get(res_id)
         open_segment = tracker.open_segment if tracker is not None else None
         if open_segment is not None and open_segment.t0_ns < t1:
             lo = open_segment.t0_ns if open_segment.t0_ns > t0 else t0
             if t1 > lo:
                 shares.append((open_segment, t1 - lo))
-        covered = sum(overlap for _, overlap in shares)
+                covered += t1 - lo
         return shares, (t1 - t0) - covered
 
     def _multi_shares(self, pairs, t0: int, t1: int) -> dict[str, float]:
@@ -417,17 +446,32 @@ class EnergyAccumulator:
         the one place single-device joules are attributed, eagerly or on
         replay (so both orders produce identical arithmetic)."""
         named: dict[str, int] = {}
+        fold = self.fold_proxies
+        name_of = self.registry.name_of
+        total_share = 0
         for segment, overlap in shares:
-            label = segment.effective_label if self.fold_proxies \
-                else segment.label
-            name = self.registry.name_of(label)
+            if fold:
+                bound = segment.bound_to
+                label = bound if bound is not None else segment.label
+            else:
+                label = segment.label
+            name = name_of(label)
             named[name] = named.get(name, 0) + overlap
+            total_share += overlap
         if idle_ns > 0:
             named[self.idle_name] = named.get(self.idle_name, 0) + idle_ns
-        total_share = sum(named.values()) or 1
+            total_share += idle_ns
+        if not total_share:
+            total_share = 1
+        # Inlined EnergyMap.add_energy: one dict probe per activity on
+        # the hottest attribution loop, same accumulation order.
+        energy_map = self.map
+        energy_j = energy_map.energy_j
         for activity, share_ns in named.items():
-            self.map.add_energy(component, activity,
-                                joules * (share_ns / total_share))
+            key = (component, activity)
+            joule_share = joules * (share_ns / total_share)
+            energy_j[key] = energy_j.get(key, 0.0) + joule_share
+            energy_map.reconstructed_energy_j += joule_share
 
     def _on_interval(self, interval: PowerInterval) -> None:
         if self._intervals_seen == 0:
@@ -454,19 +498,33 @@ class EnergyAccumulator:
         dt_s = dt_ns * 1e-9
         fold = self.fold_proxies
         # Constant draw: the baseline floor, charged to Const.
-        const_j = self.regression.const_power_w * dt_s
+        const_j = self._const_power_w * dt_s
         if fold or tail:
             self._ops.append(("const", const_j))
         else:
-            self.map.add_energy(CONST_KEY, CONST_KEY, const_j)
-        for res_id, value in interval.states:
-            entry = self._column_power.get((res_id, value))
-            if entry is None:
-                continue  # baseline state of this sink: no marginal draw
-            column_name, power_w = entry
-            component = self.component_names.get(res_id, column_name)
+            energy_j = self.map.energy_j
+            energy_j[_CONST_PAIR] = energy_j.get(_CONST_PAIR, 0.0) + const_j
+            self.map.reconstructed_energy_j += const_j
+        states = interval.states
+        plan = self._vector_plan.get(states)
+        if plan is None:
+            resolved = []
+            for res_id, value in states:
+                entry = self._column_power.get((res_id, value))
+                if entry is None:
+                    continue  # baseline state of the sink: no marginal draw
+                column_name, power_w = entry
+                resolved.append((
+                    res_id,
+                    self.component_names.get(res_id, column_name),
+                    power_w,
+                ))
+            plan = self._vector_plan[states] = tuple(resolved)
+        singles = self.stream._singles
+        multis = self.stream._multis
+        for res_id, component, power_w in plan:
             joules = power_w * dt_s
-            if self.stream.single_tracker(res_id) is not None:
+            if singles.get(res_id) is not None:
                 if tail:
                     self._ops.append(("single_tail", component, joules,
                                       res_id, interval.t0_ns,
@@ -479,7 +537,7 @@ class EnergyAccumulator:
                         ("single", component, joules, shares, idle_ns))
                 else:
                     self._apply_single(component, joules, shares, idle_ns)
-            elif self.stream.multi_tracker(res_id) is not None:
+            elif multis.get(res_id) is not None:
                 if tail:
                     self._ops.append(("multi_tail", component, joules,
                                       res_id, interval.t0_ns,

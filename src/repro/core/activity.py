@@ -53,7 +53,10 @@ class SingleActivityDevice:
 
     def set(self, new: ActivityLabel) -> None:
         """Paint the device with ``new``.  Idempotent sets do not notify."""
-        if new == self._current:
+        current = self._current
+        # Identity first: labels are widely interned (decode cache, app
+        # references), making the common idempotent set pointer-cheap.
+        if new is current or new == current:
             return
         self._current = new
         self.change_count += 1

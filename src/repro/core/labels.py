@@ -55,16 +55,31 @@ class ActivityLabel:
             raise ActivityError(f"origin {self.origin} does not fit in 8 bits")
         if not 0 <= self.aid <= 0xFF:
             raise ActivityError(f"activity id {self.aid} does not fit in 8 bits")
+        # Labels live as dict keys and set members on every tracker hot
+        # path; precompute the (immutable) hash and wire encoding once.
+        object.__setattr__(self, "_hash", hash((self.origin, self.aid)))
+        object.__setattr__(self, "_encoded", (self.origin << 8) | self.aid)
+
+    def __hash__(self) -> int:  # same value the generated hash would give
+        return self._hash
 
     def encode(self) -> int:
         """16-bit wire encoding: origin in the high byte."""
-        return (self.origin << 8) | self.aid
+        return self._encoded
 
     @staticmethod
     def decode(value: int) -> "ActivityLabel":
-        if not 0 <= value <= 0xFFFF:
-            raise ActivityError(f"encoded label {value} does not fit in 16 bits")
-        return ActivityLabel(origin=value >> 8, aid=value & 0xFF)
+        # Decoded labels are interned: a log replays the same handful of
+        # 16-bit encodings thousands of times, and the label is frozen,
+        # so one instance per encoding serves every decode.
+        label = _DECODED.get(value)
+        if label is None:
+            if not 0 <= value <= 0xFFFF:
+                raise ActivityError(
+                    f"encoded label {value} does not fit in 16 bits")
+            label = ActivityLabel(origin=value >> 8, aid=value & 0xFF)
+            _DECODED[value] = label
+        return label
 
     @property
     def is_idle(self) -> bool:
@@ -76,6 +91,10 @@ class ActivityLabel:
 
     def __str__(self) -> str:
         return f"{self.origin}:{self.aid}"
+
+
+#: Interned decode results, keyed by the 16-bit wire encoding.
+_DECODED: dict[int, "ActivityLabel"] = {}
 
 
 def idle_label(origin: int = 0) -> ActivityLabel:
@@ -97,13 +116,24 @@ class ActivityRegistry:
         for name, aid in PROXY_IDS.items():
             self._names[aid] = name
         self._next_id = 1
+        # Rendered-name cache: name_of() runs for every closed segment
+        # during accounting; the format work is done once per label.
+        # Invalidated on register() (a late registration can upgrade an
+        # ``actN`` fallback to a real name).
+        self._rendered: dict[ActivityLabel, str] = {}
+        # Reverse index for register()'s idempotent path: tasks and
+        # timers re-register their names constantly, and a linear scan
+        # per post shows up in profiles.
+        self._by_name: dict[str, int] = {
+            name: aid for aid, name in self._names.items()
+        }
 
     def register(self, name: str, aid: int | None = None) -> int:
         """Register a named activity; returns its id.  Re-registering the
         same name returns the existing id."""
-        for existing_id, existing_name in self._names.items():
-            if existing_name == name:
-                return existing_id
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
         if aid is None:
             aid = self._next_id
             while aid in self._names:
@@ -117,7 +147,9 @@ class ActivityRegistry:
                 f"application activity id {aid} must be in 1..{PROXY_BASE - 1}"
             )
         self._names[aid] = name
+        self._by_name[name] = aid
         self._next_id = max(self._next_id, aid + 1)
+        self._rendered.clear()
         return aid
 
     def label(self, origin: int, name: str) -> ActivityLabel:
@@ -126,8 +158,12 @@ class ActivityRegistry:
 
     def name_of(self, label: ActivityLabel) -> str:
         """Render a label like the paper's figures: ``origin:Name``."""
-        name = self._names.get(label.aid, f"act{label.aid}")
-        return f"{label.origin}:{name}"
+        rendered = self._rendered.get(label)
+        if rendered is None:
+            name = self._names.get(label.aid, f"act{label.aid}")
+            rendered = f"{label.origin}:{name}"
+            self._rendered[label] = rendered
+        return rendered
 
     def known_ids(self) -> dict[int, str]:
         return dict(self._names)

@@ -25,16 +25,27 @@ buffer holds 800 entries by default.  Two modes:
   to a backchannel while the CPU would otherwise be idle, charging its own
   CPU time to Quanto's own activity (like Unix ``top`` accounting for
   itself; the paper measured 4–15 % CPU for this mode).
+
+Hot-path note: the synchronous :meth:`QuantoLogger.record` path stores
+raw ``(type, res_id, time, ic, value)`` tuples in a capacity-bounded
+ring and defers the ``struct`` packing to dump time, where
+:meth:`QuantoLogger.raw_bytes` packs the whole log in one bulk
+``pack_into`` sweep over a preallocated buffer (memoized until the next
+record).  Field masking still happens at record time, so the wire
+format, the 32-bit wrap-around behaviour, the RAM budget (capacity is
+counted in 12-byte entries, exactly as before), and the Table 4 cycle
+charges are all bit-identical to eager packing — only *when* the bytes
+are produced changes.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.labels import ActivityLabel
-from repro.errors import LoggerError, LogOverflowError
+from repro.errors import HardwareError, LoggerError, LogOverflowError
 
 ENTRY_STRUCT = struct.Struct("<BBIIH")
 ENTRY_SIZE = ENTRY_STRUCT.size  # 12 bytes
@@ -79,9 +90,15 @@ DUMP_CYCLES_PER_ENTRY = 1800
 DUMP_BATCH = 32
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class LogEntry:
-    """A decoded log entry with the unwrapped absolute timestamp."""
+    """A decoded log entry with the unwrapped absolute timestamp.
+
+    Not frozen — a frozen dataclass pays ``object.__setattr__`` per
+    field, and a decode pass constructs one of these per 12 bytes of
+    log.  Treat instances as immutable anyway; nothing may mutate a
+    decoded entry.
+    """
 
     type: int
     res_id: int
@@ -89,6 +106,13 @@ class LogEntry:
     icount: int  # unwrapped, monotone
     value: int
     seq: int  # position in the log (stable tie-break for equal times)
+    # Derived once at decode time: the reconstruction reads time_ns
+    # several times per entry (interval tracker, every device tracker),
+    # so it is a stored field, not a per-access multiply.
+    time_ns: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.time_ns = self.time_us * 1000
 
     @property
     def type_name(self) -> str:
@@ -98,10 +122,6 @@ class LogEntry:
     def label(self) -> ActivityLabel:
         """Interpret ``value`` as an activity label."""
         return ActivityLabel.decode(self.value)
-
-    @property
-    def time_ns(self) -> int:
-        return self.time_us * 1000
 
 
 class QuantoLogger:
@@ -136,8 +156,16 @@ class QuantoLogger:
         self.scheduler = scheduler
         self.quanto_activity = quanto_activity
         self.cpu_activity = cpu_activity
-        self._buffer = bytearray()
-        self._dumped = bytearray()  # entries shipped off-node (drain mode)
+        # The RAM ring and the shipped log hold *raw entry tuples*;
+        # packing to the 12-byte wire format is deferred to raw_bytes().
+        # The list objects are never reassigned (drain/dump mutate them
+        # in place), so the bound methods cached below stay valid.
+        self._buffer: list[tuple[int, int, int, int, int]] = []
+        self._dumped: list[tuple[int, int, int, int, int]] = []
+        self._packed_cache: Optional[bytes] = None
+        self._packed_count = -1
+        self._append = self._buffer.append
+        self._read_icount = icount.read
         self.enabled = True
         self.stopped_on_overflow = False
         self.records_written = 0
@@ -161,14 +189,19 @@ class QuantoLogger:
         # exactly like the real implementation.  The timestamp is the
         # cycle-advanced virtual time, so records within one CPU job carry
         # strictly increasing times.
-        self.mcu.consume(COST_TOTAL)
-        virtual_ns = self.mcu.virtual_now()
+        # Inlined mcu.consume(COST_TOTAL) + mcu.virtual_now(): this is
+        # the 102-cycle synchronous path the paper budgets; two method
+        # calls per record are real overhead at fleet scale.  The guard
+        # and arithmetic match the Mcu methods exactly.
+        mcu = self.mcu
+        if not mcu._in_job:
+            raise HardwareError("Mcu.consume() called outside a job")
+        pending = mcu._pending_cycles + COST_TOTAL
+        mcu._pending_cycles = pending
+        virtual_ns = mcu._job_start_ns + pending * mcu.cycle_ns
         time_us = (virtual_ns // 1000) & 0xFFFFFFFF
-        pulses = self.icount.read(at_ns=virtual_ns) & 0xFFFFFFFF
-        packed = ENTRY_STRUCT.pack(
-            entry_type & 0xFF, res_id & 0xFF, time_us, pulses, value & 0xFFFF
-        )
-        if len(self._buffer) >= self.buffer_entries * ENTRY_SIZE:
+        pulses = self._read_icount(virtual_ns) & 0xFFFFFFFF
+        if len(self._buffer) >= self.buffer_entries:
             if self.strict_overflow:
                 raise LogOverflowError(
                     f"log buffer full ({self.buffer_entries} entries)"
@@ -180,7 +213,12 @@ class QuantoLogger:
             self.stopped_on_overflow = True
             self.records_dropped += 1
             return
-        self._buffer.extend(packed)
+        # Masked at record time (the fields a real store would latch);
+        # packed lazily in bulk.
+        self._append(
+            (entry_type & 0xFF, res_id & 0xFF, time_us, pulses,
+             value & 0xFFFF)
+        )
         self.records_written += 1
         if self.mode == "drain":
             self._schedule_drain()
@@ -235,12 +273,12 @@ class QuantoLogger:
         if self.quanto_activity is not None and self.cpu_activity is not None:
             previous = self.cpu_activity.get()
             self.cpu_activity.set(self.quanto_activity)
-        batch_bytes = min(len(self._buffer), DUMP_BATCH * ENTRY_SIZE)
-        cycles = (batch_bytes // ENTRY_SIZE) * DUMP_CYCLES_PER_ENTRY
+        batch = min(len(self._buffer), DUMP_BATCH)
+        cycles = batch * DUMP_CYCLES_PER_ENTRY
         self.mcu.consume(cycles)
         self.dump_cycles_total += cycles
-        self._dumped.extend(self._buffer[:batch_bytes])
-        del self._buffer[:batch_bytes]
+        self._dumped.extend(self._buffer[:batch])
+        del self._buffer[:batch]
         if previous is not None:
             self.cpu_activity.set(previous)
         if self._buffer:
@@ -260,7 +298,7 @@ class QuantoLogger:
         single entries would regenerate work as fast as it shipped it."""
         if self._drain_scheduled:
             return
-        if len(self._buffer) < DRAIN_BATCH * ENTRY_SIZE:
+        if len(self._buffer) < DRAIN_BATCH:
             return
         if self.scheduler is None:
             raise LoggerError("drain mode needs a scheduler attached")
@@ -278,10 +316,10 @@ class QuantoLogger:
         if self.quanto_activity is not None and self.cpu_activity is not None:
             previous = self.cpu_activity.get()
             self.cpu_activity.set(self.quanto_activity)
-        batch_bytes = min(len(self._buffer), DRAIN_BATCH * ENTRY_SIZE)
-        self.mcu.consume((batch_bytes // ENTRY_SIZE) * DRAIN_CYCLES_PER_ENTRY)
-        self._dumped.extend(self._buffer[:batch_bytes])
-        del self._buffer[:batch_bytes]
+        batch = min(len(self._buffer), DRAIN_BATCH)
+        self.mcu.consume(batch * DRAIN_CYCLES_PER_ENTRY)
+        self._dumped.extend(self._buffer[:batch])
+        del self._buffer[:batch]
         self.drain_task_runs += 1
         if previous is not None:
             self.cpu_activity.set(previous)
@@ -290,11 +328,31 @@ class QuantoLogger:
     # -- offline access ----------------------------------------------------
 
     def raw_bytes(self) -> bytes:
-        """Everything recorded: shipped entries plus the residual buffer."""
-        return bytes(self._dumped + self._buffer)
+        """Everything recorded: shipped entries plus the residual buffer,
+        packed to the 12-byte wire format.
+
+        Packing happens here, in one bulk ``pack_into`` sweep over a
+        preallocated buffer, instead of per record on the synchronous
+        path.  The shipped+resident entry sequence is append-only (a
+        drain moves entries between the two stores without reordering),
+        so the packed bytes are memoized by total entry count and reused
+        by every analysis pass over the same log.
+        """
+        total = len(self._dumped) + len(self._buffer)
+        if self._packed_count != total:
+            packed = bytearray(total * ENTRY_SIZE)
+            pack_into = ENTRY_STRUCT.pack_into
+            offset = 0
+            for store in (self._dumped, self._buffer):
+                for entry in store:
+                    pack_into(packed, offset, *entry)
+                    offset += ENTRY_SIZE
+            self._packed_cache = bytes(packed)
+            self._packed_count = total
+        return self._packed_cache
 
     def ram_bytes_used(self) -> int:
-        return len(self._buffer)
+        return len(self._buffer) * ENTRY_SIZE
 
     def decode(self) -> list[LogEntry]:
         """Decode the log, unwrapping the 32-bit time and iCount fields."""

@@ -56,9 +56,13 @@ from repro.core.logger import (
 from repro.errors import RegressionError
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class PowerInterval:
-    """A span of constant power states across all sinks."""
+    """A span of constant power states across all sinks.
+
+    Not frozen (cheap construction on the per-interval hot path); treat
+    as immutable once emitted.
+    """
 
     t0_ns: int
     t1_ns: int
@@ -167,10 +171,18 @@ class _IntervalTracker:
             self._states[res_id] = value
             self._dirty = True
 
+    def note_record(self, time_ns: int, icount: int) -> None:
+        """Advance the "last record" watermark without an interval
+        boundary — for entries of other types: the trailing interval
+        ends at the last *record*, whatever it was (energy past it is
+        unobservable)."""
+        self._saw_any = True
+        self._last_time_ns = time_ns
+        self._last_icount = icount
+
     def feed(self, entry: LogEntry) -> None:
-        # Every entry type updates the "last record" watermark: the
-        # trailing interval ends at the last *record*, whatever it was
-        # (energy past it is unobservable).
+        # Every entry type updates the "last record" watermark (see
+        # note_record).
         self._saw_any = True
         self._last_time_ns = entry.time_ns
         self._last_icount = entry.icount
@@ -478,10 +490,16 @@ class TimelineStream:
 
     def feed(self, entry: LogEntry) -> None:
         self._saw_any = True
-        self._last_entry_time_ns = entry.time_ns
-        self.intervals.feed(entry)
+        time_ns = entry.time_ns
+        self._last_entry_time_ns = time_ns
         entry_type = entry.type
-        if entry_type in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
+        if entry_type == TYPE_POWERSTATE or entry_type == TYPE_BOOT:
+            # Only power entries can open or close an interval; the
+            # activity types below just advance the watermark.
+            self.intervals.feed(entry)
+            return
+        self.intervals.note_record(time_ns, entry.icount)
+        if entry_type == TYPE_ACT_CHANGE or entry_type == TYPE_ACT_BIND:
             res_id = entry.res_id
             # Same inference as the batch builder: a change/bind marks a
             # single-activity device unless the id is already multi.
@@ -492,7 +510,7 @@ class TimelineStream:
                         self._make_single(res_id)
                     self._single_ids.add(res_id)
                 tracker.feed(entry)
-        elif entry_type in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
+        elif entry_type == TYPE_ACT_ADD or entry_type == TYPE_ACT_REMOVE:
             res_id = entry.res_id
             tracker = self._multis.get(res_id)
             if tracker is None:
@@ -558,26 +576,50 @@ class TimelineBuilder:
         single_res_ids: Optional[Iterable[int]] = None,
         multi_res_ids: Optional[Iterable[int]] = None,
     ) -> None:
-        self.entries = sorted(entries, key=lambda e: (e.time_us, e.seq))
+        # Decoded logs arrive already in (time_us, seq) order — the
+        # logger writes monotone timestamps and the decoder numbers
+        # entries sequentially — so check (copy-free) before paying for
+        # a keyed sort.
+        presorted = True
+        for i in range(1, len(entries)):
+            prev, cur = entries[i - 1], entries[i]
+            if prev.time_us > cur.time_us or (
+                    prev.time_us == cur.time_us and prev.seq > cur.seq):
+                presorted = False
+                break
+        if presorted:
+            self.entries = list(entries)
+        else:
+            self.entries = sorted(entries, key=lambda e: (e.time_us, e.seq))
         if end_time_ns is None and self.entries:
             end_time_ns = self.entries[-1].time_ns
         self.end_time_ns = end_time_ns or 0
         self._single_ids = set(single_res_ids or [])
         self._multi_ids = set(multi_res_ids or [])
-        # One pass: infer undeclared devices from entry types, and index
-        # entries per device so per-device rebuilds scan only their own
-        # entries instead of the whole log (the log interleaves all
-        # devices, so this turns O(devices x entries) into O(entries)).
-        by_res: dict[int, list[LogEntry]] = {}
+        # One pass: infer undeclared devices from entry types.  The
+        # per-device entry index (for activity_segments rebuilds) is
+        # deferred until someone asks — the common accounting path never
+        # touches it.
         for entry in self.entries:
-            by_res.setdefault(entry.res_id, []).append(entry)
             if entry.type in (TYPE_ACT_CHANGE, TYPE_ACT_BIND):
                 if entry.res_id not in self._multi_ids:
                     self._single_ids.add(entry.res_id)
             elif entry.type in (TYPE_ACT_ADD, TYPE_ACT_REMOVE):
                 self._multi_ids.add(entry.res_id)
-        self._by_res = by_res
+        self._by_res_cache: Optional[dict[int, list[LogEntry]]] = None
         self._intervals_cache: Optional[list[PowerInterval]] = None
+
+    @property
+    def _by_res(self) -> dict[int, list[LogEntry]]:
+        """Per-device entry index, built on first use (the log
+        interleaves all devices, so this turns per-device rebuilds from
+        O(devices x entries) into O(entries))."""
+        if self._by_res_cache is None:
+            by_res: dict[int, list[LogEntry]] = {}
+            for entry in self.entries:
+                by_res.setdefault(entry.res_id, []).append(entry)
+            self._by_res_cache = by_res
+        return self._by_res_cache
 
     # -- power intervals ----------------------------------------------------
 
@@ -590,8 +632,16 @@ class TimelineBuilder:
         if self._intervals_cache is None:
             intervals: list[PowerInterval] = []
             tracker = _IntervalTracker(intervals.append)
+            feed = tracker.feed
             for entry in self.entries:
-                tracker.feed(entry)
+                # Only power entries move the interval state; the final
+                # watermark (the last record of *any* type) is applied
+                # once below instead of per entry.
+                if entry.type == TYPE_POWERSTATE or entry.type == TYPE_BOOT:
+                    feed(entry)
+            if self.entries:
+                last = self.entries[-1]
+                tracker.note_record(last.time_ns, last.icount)
             tracker.finish()
             self._intervals_cache = intervals
         return self._intervals_cache

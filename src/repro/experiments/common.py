@@ -150,6 +150,9 @@ def load_experiment(exp_id: str):
     return importlib.import_module(f"repro.experiments.{exp_id}")
 
 
+_PARAMS_CACHE: dict[str, dict[str, SweepParam]] = {}
+
+
 def experiment_params(exp_id: str) -> dict[str, SweepParam]:
     """The sweepable parameters of one experiment.
 
@@ -160,7 +163,15 @@ def experiment_params(exp_id: str) -> dict[str, SweepParam]:
     module-level ``PARAM_CHOICES = {"topology": ("line", "star")}``
     closes a parameter's value set, and ``PARAM_MINIMUMS = {"nodes": 2}``
     bounds it below, both for pre-fork validation.
+
+    Memoized per experiment: signatures are static, and a sweep calls
+    this once per grid point (``inspect.signature`` is milliseconds —
+    real money against a few-ms simulation).  The cached dict is shared;
+    callers treat it as read-only (the values are frozen dataclasses).
     """
+    cached = _PARAMS_CACHE.get(exp_id)
+    if cached is not None:
+        return cached
     module = load_experiment(exp_id)
     choices_map = getattr(module, "PARAM_CHOICES", {})
     minimums_map = getattr(module, "PARAM_MINIMUMS", {})
@@ -181,6 +192,7 @@ def experiment_params(exp_id: str) -> dict[str, SweepParam]:
             choices=tuple(choices) if choices is not None else None,
             minimum=minimums_map.get(name),
         )
+    _PARAMS_CACHE[exp_id] = params
     return params
 
 

@@ -30,13 +30,20 @@ SLEEP_STATES = ("LPM0", "LPM1", "LPM2", "LPM3", "LPM4")
 
 
 class CpuJob:
-    """One run-to-completion block: a callback plus its base cycle cost."""
+    """One run-to-completion block: a callback plus its base cycle cost.
 
-    __slots__ = ("fn", "base_cycles", "label", "irq")
+    ``args`` are passed to ``fn`` when the job runs — callers that would
+    otherwise build a closure per post (the scheduler and interrupt
+    layers post thousands of jobs per run) pass the target and its
+    arguments instead.
+    """
 
-    def __init__(self, fn: Callable[[], None], base_cycles: int, label: str,
-                 irq: bool):
+    __slots__ = ("fn", "args", "base_cycles", "label", "irq")
+
+    def __init__(self, fn: Callable[..., None], base_cycles: int, label: str,
+                 irq: bool, args: tuple = ()):
         self.fn = fn
+        self.args = args
         self.base_cycles = base_cycles
         self.label = label
         self.irq = irq
@@ -63,6 +70,10 @@ class Mcu:
         self.cycle_ns = int(cycle_ns)
         self.profile = profile
         self.sleep_state = sleep_state
+        # The CPU toggles ACTIVE/sleep on every wakeup; look the two
+        # draws up once instead of hitting the catalog per transition.
+        self._active_amps = profile.current("CPU", "ACTIVE")
+        self._sleep_amps = profile.current("CPU", sleep_state)
         self._sink = rail.register("CPU")
         self._irq_jobs: deque[CpuJob] = deque()
         self._task_jobs: deque[CpuJob] = deque()
@@ -88,10 +99,10 @@ class Mcu:
             listener(state)
 
     def _apply_active_current(self) -> None:
-        self._sink.set_current(self.profile.current("CPU", "ACTIVE"))
+        self._sink.set_current(self._active_amps)
 
     def _apply_sleep_current(self) -> None:
-        self._sink.set_current(self.profile.current("CPU", self.sleep_state))
+        self._sink.set_current(self._sleep_amps)
 
     @property
     def active(self) -> bool:
@@ -100,15 +111,15 @@ class Mcu:
 
     # -- job submission ----------------------------------------------------
 
-    def post_irq(self, fn: Callable[[], None], cycles: int = 0,
-                 label: str = "irq") -> None:
+    def post_irq(self, fn: Callable[..., None], cycles: int = 0,
+                 label: str = "irq", args: tuple = ()) -> None:
         """Queue an interrupt-context job (runs ahead of task jobs)."""
-        self._post(CpuJob(fn, int(cycles), label, irq=True))
+        self._post(CpuJob(fn, int(cycles), label, irq=True, args=args))
 
-    def post_task(self, fn: Callable[[], None], cycles: int = 0,
-                  label: str = "task") -> None:
+    def post_task(self, fn: Callable[..., None], cycles: int = 0,
+                  label: str = "task", args: tuple = ()) -> None:
         """Queue a task-context job (FIFO among tasks)."""
-        self._post(CpuJob(fn, int(cycles), label, irq=False))
+        self._post(CpuJob(fn, int(cycles), label, irq=False, args=args))
 
     def _post(self, job: CpuJob) -> None:
         if job.irq:
@@ -133,18 +144,21 @@ class Mcu:
         if job is None:
             self._go_to_sleep()
             return
+        sim = self.sim
         self._in_job = True
         self._pending_cycles = job.base_cycles
-        self._job_start_ns = self.sim.now
+        self._job_start_ns = sim._now
         self.jobs_executed += 1
         try:
-            job.fn()
+            job.fn(*job.args)
         finally:
             cycles = self._pending_cycles
             self._pending_cycles = 0
             self._in_job = False
             self.total_active_cycles += cycles
-            self.sim.after(cycles * self.cycle_ns, self._dispatch)
+            # at() directly: cycles are validated non-negative, so the
+            # after() delay check is redundant on this per-job path.
+            sim.at(sim._now + cycles * self.cycle_ns, self._dispatch)
 
     def _next_job(self) -> Optional[CpuJob]:
         if self._irq_jobs:
@@ -195,7 +209,7 @@ class Mcu:
         mid-execution would see.  Outside a job this is just ``sim.now``.
         """
         if not self._in_job:
-            return self.sim.now
+            return self.sim._now
         return self._job_start_ns + self._pending_cycles * self.cycle_ns
 
     @property

@@ -63,6 +63,10 @@ class PowerRail:
         self.sim = sim
         self.voltage = float(voltage)
         self._sinks: dict[str, SinkHandle] = {}
+        # Sinks currently drawing nonzero current: the integration loop
+        # runs once per meter read, and most sinks sit at zero (radio
+        # off, flash idle), so only the hot ones are walked.
+        self._hot: dict[str, SinkHandle] = {}
         self._total_amps = 0.0
         self._energy_j = 0.0
         self._last_update_ns = 0
@@ -99,14 +103,23 @@ class PowerRail:
     # -- integration -------------------------------------------------------
 
     def _integrate_to_now(self) -> None:
-        now = self.sim.now
+        # Every log record reads the rail, so this is one of the hottest
+        # loops in a run: only the sinks drawing nonzero current (the
+        # _hot set) are walked, and when the aggregate is exactly zero
+        # there is nothing to add at all (draws are non-negative, so the
+        # accumulators are unchanged either way — x + 0.0 == x for the
+        # non-negative totals kept here).
+        now = self.sim._now
         dt_ns = now - self._last_update_ns
         if dt_ns > 0:
-            dt_s = dt_ns * 1e-9
-            self._energy_j += self.voltage * self._total_amps * dt_s
-            for name, handle in self._sinks.items():
-                if handle._amps:
-                    self._sink_energy_j[name] += self.voltage * handle._amps * dt_s
+            total = self._total_amps
+            if total:
+                dt_s = dt_ns * 1e-9
+                voltage = self.voltage
+                self._energy_j += voltage * total * dt_s
+                sink_energy = self._sink_energy_j
+                for name, handle in self._hot.items():
+                    sink_energy[name] += voltage * handle._amps * dt_s
             self._last_update_ns = now
 
     def _update(self, handle: SinkHandle, amps: float) -> None:
@@ -120,6 +133,10 @@ class PowerRail:
                 )
             self._total_amps = 0.0
         handle._amps = amps
+        if amps:
+            self._hot[handle.name] = handle
+        else:
+            self._hot.pop(handle.name, None)
         for observer in self._observers:
             observer(self.sim.now, self._total_amps)
 

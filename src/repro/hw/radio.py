@@ -126,6 +126,12 @@ class Radio:
         self._pending: Optional[Event] = None
         self.frames_sent = 0
         self.frames_received = 0
+        # Per-state current lookup tables: the radio transitions states
+        # on every frame (calibrate, TX, fall back to RX), so the four
+        # sink draws per (state, tx-power) pair are interned once and a
+        # transition becomes a dict hit, not four catalog walks.
+        self._state_currents: dict[tuple[str, int],
+                                   tuple[float, float, float, float]] = {}
         self._vreg.set_current(profile.current("RadioRegulator", "OFF"))
 
     # -- wiring ---------------------------------------------------------
@@ -159,23 +165,36 @@ class Radio:
 
     # -- ground-truth plumbing -------------------------------------------
 
+    def _state_draws(self, state: str) -> tuple[float, float, float, float]:
+        """(vreg, control, rx, tx) amps for one (state, tx-power) pair —
+        computed once from the profile, then a dict hit."""
+        key = (state, self.tx_power_dbm)
+        draws = self._state_currents.get(key)
+        if draws is None:
+            vreg_state = "OFF" if state == STATE_OFF else "ON"
+            control_on = state not in (STATE_OFF, STATE_VREG)
+            rx_on = state in (STATE_RX, STATE_RX_CALIB)
+            tx_on = state in (STATE_TX, STATE_TX_CALIB)
+            tx_state = TX_POWER_STATES.get(self.tx_power_dbm, "TX_0dBm")
+            draws = (
+                self.profile.current("RadioRegulator", vreg_state),
+                self.profile.current("RadioControlPath", "IDLE")
+                if control_on else 0.0,
+                self.profile.current("RadioRxPath", "RX_LISTEN")
+                if rx_on else 0.0,
+                self.profile.current("RadioTxPath", tx_state)
+                if tx_on else 0.0,
+            )
+            self._state_currents[key] = draws
+        return draws
+
     def _enter(self, state: str) -> None:
         self.state = state
-        vreg_state = "OFF" if state == STATE_OFF else "ON"
-        self._vreg.set_current(self.profile.current("RadioRegulator", vreg_state))
-        control_on = state not in (STATE_OFF, STATE_VREG)
-        self._control.set_current(
-            self.profile.current("RadioControlPath", "IDLE") if control_on else 0.0
-        )
-        rx_on = state in (STATE_RX, STATE_RX_CALIB)
-        self._rx_path.set_current(
-            self.profile.current("RadioRxPath", "RX_LISTEN") if rx_on else 0.0
-        )
-        tx_on = state in (STATE_TX, STATE_TX_CALIB)
-        tx_state = TX_POWER_STATES.get(self.tx_power_dbm, "TX_0dBm")
-        self._tx_path.set_current(
-            self.profile.current("RadioTxPath", tx_state) if tx_on else 0.0
-        )
+        vreg, control, rx, tx = self._state_draws(state)
+        self._vreg.set_current(vreg)
+        self._control.set_current(control)
+        self._rx_path.set_current(rx)
+        self._tx_path.set_current(tx)
         if self._state_listener:
             self._state_listener(state)
 

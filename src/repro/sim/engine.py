@@ -3,25 +3,44 @@
 Time is an integer count of nanoseconds.  Events scheduled for the same
 timestamp run in the order they were scheduled (FIFO), which makes runs
 bit-for-bit reproducible.  An event can be cancelled; cancellation is lazy
-(the heap entry is flagged dead and skipped when popped).
+(the entry is flagged dead and skipped when its time comes).
 
-Hot-path notes: the heap stores ``(time, seq, event)`` triples so that
-``heapq`` orders entries with C-level integer comparisons instead of
-calling a Python ``__lt__`` per comparison — on event-dense runs (a
-48-second Blink run schedules tens of thousands of events; a 32-seed
-sweep multiplies that) this is the single biggest win.  :class:`Event`
-objects are pure handles and are deliberately *never* recycled into a
-pool: a handle stays valid after its event fires, so ``cancel()`` on an
-already-popped event is always a safe no-op rather than a use-after-reuse
-hazard.  Determinism beats the last few allocations.
+Hot-path notes: the queue is a **calendar-queue / heap hybrid** rather
+than a single binary heap.  Embedded workloads schedule in two distinct
+regimes: a dense near-term cloud (job completions a few cycles out,
+deferred signals at the current instant) and a sparse far future (the
+next timer wakeup, seconds away).  The queue therefore keeps near-term
+events in exact-timestamp FIFO buckets (a dict keyed by time, plus a
+small heap of distinct bucket times) and far-future events in an
+overflow heap of ``(time, seq)`` pairs; when the near window drains, the
+horizon advances and the overflow migrates forward in ``(time, seq)``
+order, which provably preserves the global FIFO-within-timestamp
+contract (see ``tests/test_sim_engine.py`` and the golden digests in
+``tests/test_golden_digests.py``).  Same-instant events — the common
+case inside one CPU wakeup — cost one dict hit and a list append instead
+of an O(log n) sift, and cancelled events are dropped without ever
+touching the heap.
+
+:class:`Event` objects are pure handles and are deliberately *never*
+recycled into a pool: a handle stays valid after its event fires, so
+``cancel()`` on an already-popped event is always a safe no-op rather
+than a use-after-reuse hazard.  Determinism beats the last few
+allocations.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+
+#: Width of the near-term bucket window, in nanoseconds.  Events within
+#: this horizon of the queue head live in exact-timestamp buckets; later
+#: ones wait in the overflow heap.  One millisecond covers a whole CPU
+#: wakeup's burst of job completions (1 cycle = 1 us) while keeping the
+#: far-future timer arms out of the bucket index.
+NEAR_WINDOW_NS = 1_000_000
 
 
 class Event:
@@ -32,18 +51,27 @@ class Event:
     (or was already cancelled) is harmless.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "alive")
+    __slots__ = ("time", "seq", "fn", "args", "alive", "_sim", "_queued")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any],
+                 args: tuple, sim: "Simulator"):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.alive = True
+        self._sim = sim
+        self._queued = True
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when its time comes."""
         self.alive = False
+        if self._queued:
+            # Still sitting in the queue: it no longer counts as pending.
+            # (After firing, _queued is False, so a late cancel is a pure
+            # flag flip with no accounting effect.)
+            self._queued = False
+            self._sim._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "cancelled"
@@ -64,7 +92,14 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
-        self._queue: list[tuple[int, int, Event]] = []
+        # Calendar part: exact-timestamp FIFO buckets for events with
+        # time < _horizon, plus a heap of the distinct bucket times.
+        self._buckets: dict[int, list[Event]] = {}
+        self._times: list[int] = []
+        # Overflow part: (time, seq, event) heap for time >= _horizon.
+        self._overflow: list[tuple[int, int, Event]] = []
+        self._horizon = NEAR_WINDOW_NS
+        self._live = 0  # alive events currently queued (O(1) pending())
         self._running = False
         self._events_executed = 0
 
@@ -84,16 +119,27 @@ class Simulator:
 
     def at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
+        # Coerce before the guard: a float like now - 0.5 must not slip
+        # past the comparison and then truncate to a time in the past.
+        time_ns = int(time_ns)
         if time_ns < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time_ns} ns, already at "
                 f"t={self._now} ns"
             )
-        time_ns = int(time_ns)
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time_ns, seq, fn, args)
-        heapq.heappush(self._queue, (time_ns, seq, event))
+        event = Event(time_ns, seq, fn, args, self)
+        self._live += 1
+        if time_ns < self._horizon:
+            bucket = self._buckets.get(time_ns)
+            if bucket is None:
+                self._buckets[time_ns] = [event]
+                heappush(self._times, time_ns)
+            else:
+                bucket.append(event)
+        else:
+            heappush(self._overflow, (time_ns, seq, event))
         return event
 
     def after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
@@ -107,20 +153,78 @@ class Simulator:
         queued for this instant (a 'soon' hook, used for deferred signals)."""
         return self.at(self._now, fn, *args)
 
+    # -- queue internals ------------------------------------------------
+
+    def _advance_horizon(self) -> None:
+        """The buckets are empty: move the horizon past the overflow head
+        and migrate everything inside the new window into buckets.
+
+        Migration pops the overflow in ``(time, seq)`` order and appends
+        into per-timestamp buckets, so migrated events keep their mutual
+        FIFO order; any event scheduled into those buckets afterwards
+        necessarily has a larger seq, so FIFO-within-timestamp holds
+        globally.  The horizon only ever moves forward.
+        """
+        overflow = self._overflow
+        horizon = overflow[0][0] + NEAR_WINDOW_NS
+        buckets = self._buckets
+        times = self._times
+        while overflow and overflow[0][0] < horizon:
+            time_ns, _, event = heappop(overflow)
+            bucket = buckets.get(time_ns)
+            if bucket is None:
+                buckets[time_ns] = [event]
+                heappush(times, time_ns)
+            else:
+                bucket.append(event)
+        self._horizon = horizon
+
+    def _peek(self) -> Optional[tuple[int, Event]]:
+        """The earliest live event, still queued — or None.  Dead events
+        and drained buckets are discarded on the way (the lazy half of
+        ``cancel``)."""
+        times = self._times
+        buckets = self._buckets
+        while True:
+            if times:
+                time_ns = times[0]
+                bucket = buckets[time_ns]
+                while bucket:
+                    event = bucket[0]
+                    if event.alive:
+                        return time_ns, event
+                    del bucket[0]
+                heappop(times)
+                del buckets[time_ns]
+                continue
+            if self._overflow:
+                self._advance_horizon()
+                continue
+            return None
+
+    def _pop(self, time_ns: int, event: Event) -> None:
+        """Remove the event :meth:`_peek` just returned (the bucket head)."""
+        bucket = self._buckets[time_ns]
+        del bucket[0]
+        if not bucket:
+            heappop(self._times)
+            del self._buckets[time_ns]
+        event._queued = False
+        self._live -= 1
+
     # -- execution -----------------------------------------------------
 
     def step(self) -> bool:
         """Run the next live event.  Returns False if the queue is empty."""
-        queue = self._queue
-        while queue:
-            time_ns, _, event = heapq.heappop(queue)
-            if not event.alive:
-                continue
-            self._now = time_ns
-            self._events_executed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        head = self._peek()
+        if head is None:
+            return False
+        time_ns, event = head
+        self._pop(time_ns, event)
+        self._now = time_ns
+        self._events_executed += 1
+        event.fn(*event.args)
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Run events in order.
@@ -133,17 +237,39 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         executed = 0
-        queue = self._queue
-        heappop = heapq.heappop
+        times = self._times
+        buckets = self._buckets
         try:
-            while queue:
-                time_ns, _, event = queue[0]
-                if not event.alive:
-                    heappop(queue)
+            # The _peek/_pop pair, fused: one bucket lookup per event
+            # instead of two, with dead events and drained buckets
+            # discarded in place (the semantics of the two methods are
+            # unchanged — step() still uses them directly).
+            while True:
+                if times:
+                    time_ns = times[0]
+                    bucket = buckets[time_ns]
+                    while bucket:
+                        event = bucket[0]
+                        if event.alive:
+                            break
+                        del bucket[0]
+                    if not bucket:
+                        heappop(times)
+                        del buckets[time_ns]
+                        continue
+                elif self._overflow:
+                    self._advance_horizon()
                     continue
+                else:
+                    break
                 if until is not None and time_ns > until:
                     break
-                heappop(queue)
+                del bucket[0]
+                if not bucket:
+                    heappop(times)
+                    del buckets[time_ns]
+                event._queued = False
+                self._live -= 1
                 self._now = time_ns
                 self._events_executed += 1
                 event.fn(*event.args)
@@ -158,8 +284,10 @@ class Simulator:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for _, _, event in self._queue if event.alive)
+        """Number of live events still queued.  O(1): a live counter is
+        maintained at schedule/cancel/fire time instead of scanning the
+        queue (``__repr__`` and experiment asserts call this freely)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now} ns, {self.pending()} pending>"

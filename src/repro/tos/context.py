@@ -54,11 +54,13 @@ class CpuContext:
             self.cpu_activity.set(self.idle_label)
             self.cpu_powerstate.set(CPU_PS_SLEEP)
 
-    def run_wrapped(self, body) -> None:
-        """Execute ``body`` between prologue and epilogue (exception-safe:
-        a crashing job still records the sleep transition)."""
+    def run_wrapped(self, body, *args) -> None:
+        """Execute ``body(*args)`` between prologue and epilogue
+        (exception-safe: a crashing job still records the sleep
+        transition).  Extra arguments let posters pass the target
+        directly instead of wrapping it in a closure per post."""
         self.prologue()
         try:
-            body()
+            body(*args)
         finally:
             self.epilogue()

@@ -62,11 +62,12 @@ class InterruptController:
             finally:
                 self.cpu_activity.set(saved)
 
+        run_wrapped = self.context.run_wrapped
+        post_irq = self.mcu.post_irq
+
         def trigger() -> None:
-            self.mcu.post_irq(
-                lambda: self.context.run_wrapped(body),
-                label=vector,
-            )
+            # No per-trigger closure: the wrapper and body ride as args.
+            post_irq(run_wrapped, label=vector, args=(body,))
 
         return trigger
 

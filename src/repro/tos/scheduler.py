@@ -88,15 +88,25 @@ class Scheduler:
         self.tasks_posted += 1
         if self.mcu._in_job:  # posting from CPU code costs cycles
             self.mcu.consume(POST_CYCLES)
+        # No per-post closures: the wrapper, the task body, and its
+        # captured state all travel as job args.
+        self.mcu.post_task(
+            self.context.run_wrapped, label=label,
+            args=(self._task_body, fn, cycles, saved, on_start),
+        )
 
-        def body() -> None:
-            self.tasks_run += 1
-            if on_start is not None:
-                on_start()
-            # Restore the activity saved at post time (the instrumentation
-            # the paper added to the TinyOS scheduler).
-            self.cpu_activity.set(saved)
-            self.mcu.consume(DISPATCH_CYCLES + cycles)
-            fn()
-
-        self.mcu.post_task(lambda: self.context.run_wrapped(body), label=label)
+    def _task_body(
+        self,
+        fn: Callable[[], None],
+        cycles: int,
+        saved: ActivityLabel,
+        on_start: Optional[Callable[[], None]],
+    ) -> None:
+        self.tasks_run += 1
+        if on_start is not None:
+            on_start()
+        # Restore the activity saved at post time (the instrumentation
+        # the paper added to the TinyOS scheduler).
+        self.cpu_activity.set(saved)
+        self.mcu.consume(DISPATCH_CYCLES + cycles)
+        fn()

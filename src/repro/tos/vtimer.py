@@ -136,12 +136,21 @@ class VirtualTimerSystem:
     # -- dispatch ------------------------------------------------------------
 
     def _rearm(self) -> None:
-        pending = [t for t in self._timers if t.running]
-        if not pending:
+        # Single pass over the (small) timer list: find the earliest
+        # running deadline without materializing the pending list.  One
+        # compare arm per wakeup keeps the engine's event count
+        # O(wakeups), however fine the underlying timer granularity —
+        # tests/test_vtimer.py pins that property on a Blink run.
+        next_deadline = None
+        for timer in self._timers:
+            if timer.running and (next_deadline is None
+                                  or timer.deadline_ns < next_deadline):
+                next_deadline = timer.deadline_ns
+        if next_deadline is None:
             self.compare.disarm()
             return
-        next_deadline = min(t.deadline_ns for t in pending)
-        self.compare.arm(max(next_deadline, self.mcu.sim.now))
+        now = self.mcu.sim.now
+        self.compare.arm(next_deadline if next_deadline > now else now)
 
     def _dispatch(self) -> None:
         """The TimerB0 handler body (already under the int_TIMERB0 proxy):

@@ -1,9 +1,12 @@
 """The discrete-event kernel: ordering, cancellation, run semantics."""
 
+import heapq
+import random
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
+from repro.sim.engine import NEAR_WINDOW_NS, Simulator
 
 
 def test_events_run_in_time_order():
@@ -130,3 +133,140 @@ def test_call_now_runs_after_queued_events_at_same_instant():
     sim.at(100, order.append, "second")
     sim.run()
     assert order == ["first", "second", "soon"]
+
+
+# -- calendar-queue semantics -------------------------------------------------
+
+
+def test_float_time_cannot_truncate_into_the_past():
+    """Regression: at() used to coerce to int *after* the past-guard, so
+    a float a hair above now passed the check and then truncated below
+    it.  The coercion now happens first."""
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run()
+    assert sim.now == 100
+    with pytest.raises(SimulationError):
+        sim.at(100.5 - 1.0, lambda: None)  # int() would give 99 < now
+    # A float that still lands at now (or later) is fine.
+    event = sim.at(100.9, lambda: None)
+    assert event.time == 100
+
+
+def test_fifo_preserved_across_the_bucket_overflow_boundary():
+    """Events for one timestamp scheduled on both sides of the near
+    horizon (some straight into a bucket, some migrated from the
+    overflow heap) must still run in scheduling order."""
+    sim = Simulator()
+    far = 5 * NEAR_WINDOW_NS
+    order = []
+    sim.at(far, order.append, "overflow-first")   # beyond horizon
+    sim.at(far, order.append, "overflow-second")  # beyond horizon
+
+    def reschedule_same_instant():
+        # By now the horizon has advanced past `far`: these go straight
+        # into the bucket, behind the migrated pair.
+        sim.at(far, order.append, "bucket-third")
+
+    sim.at(far - NEAR_WINDOW_NS // 2, reschedule_same_instant)
+    sim.run()
+    assert order == ["overflow-first", "overflow-second", "bucket-third"]
+
+
+def test_cancel_after_fire_is_safe_and_keeps_pending_exact():
+    sim = Simulator()
+    fired = []
+    event = sim.at(10, fired.append, 1)
+    later = sim.at(20, fired.append, 2)
+    assert sim.pending() == 2
+    assert sim.step()
+    assert fired == [1]
+    event.cancel()  # already fired: no-op, must not corrupt the count
+    event.cancel()  # twice is fine too
+    assert sim.pending() == 1
+    later.cancel()
+    assert sim.pending() == 0
+    later.cancel()  # double-cancel of a queued event counts once
+    assert sim.pending() == 0
+    assert not sim.step()
+
+
+def test_pending_counts_live_events_without_scanning():
+    sim = Simulator()
+    events = [sim.at(t, lambda: None) for t in (10, 20, 5 * NEAR_WINDOW_NS)]
+    assert sim.pending() == 3
+    events[1].cancel()
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancelled_far_future_event_never_fires_after_migration():
+    sim = Simulator()
+    fired = []
+    far = 3 * NEAR_WINDOW_NS
+    doomed = sim.at(far, fired.append, "doomed")
+    sim.at(far, fired.append, "kept")
+    doomed.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_calendar_queue_matches_reference_heap_on_random_workloads():
+    """Property test: the calendar queue's execution order is identical
+    to a plain (time, seq) binary heap — the pre-optimization scheduler —
+    on randomized workloads of bursty same-instant events, far-future
+    arms, cancellations, and in-callback rescheduling."""
+    rng = random.Random(20080101)
+    for _ in range(20):
+        plan = [
+            (rng.choice((0, 1, 2, 50, 999, NEAR_WINDOW_NS * rng.randint(1, 4))),
+             rng.random() < 0.2)  # (delay, cancel it?)
+            for _ in range(60)
+        ]
+        reschedules = rng.sample(range(60), 10)
+
+        def run_reference():
+            order = []
+            heap = []
+            seq = [0]
+            now = [0]
+
+            def push(t, tag):
+                heapq.heappush(heap, (t, seq[0], tag))
+                seq[0] += 1
+                return (t, seq[0] - 1)
+
+            cancelled = set()
+            for index, (delay, cancel) in enumerate(plan):
+                handle = push(delay, index)
+                if cancel:
+                    cancelled.add(handle[1])
+            while heap:
+                t, s, tag = heapq.heappop(heap)
+                if s in cancelled:
+                    continue
+                now[0] = t
+                order.append((t, tag))
+                if tag in reschedules:
+                    push(t + plan[tag][0] + 7, ("re", tag))
+            return order
+
+        def run_calendar():
+            order = []
+            sim = Simulator()
+
+            def fire(tag):
+                order.append((sim.now, tag))
+                if tag in reschedules:
+                    sim.at(sim.now + plan[tag][0] + 7,
+                           fire, ("re", tag))
+
+            for index, (delay, cancel) in enumerate(plan):
+                event = sim.at(delay, fire, index)
+                if cancel:
+                    event.cancel()
+            sim.run()
+            return order
+
+        assert run_calendar() == run_reference()

@@ -206,3 +206,42 @@ def test_cli_experiment_unknown_override(capsys):
     code = main(["experiment", "table3", "--set", "warp=9"])
     assert code == 2
     assert "warp" in capsys.readouterr().err
+
+
+# -- parallel executor plumbing -------------------------------------------
+
+
+def test_in_grid_index_order_restores_any_arrival_order():
+    from repro.sim.sweep import _in_grid_index_order
+
+    arrivals = [(3, "d"), (0, "a"), (2, "c"), (1, "b"), (4, "e")]
+    assert list(_in_grid_index_order(iter(arrivals), 5)) == \
+        ["a", "b", "c", "d", "e"]
+
+
+def test_in_grid_index_order_detects_missing_results():
+    from repro.sim.sweep import _in_grid_index_order
+
+    with pytest.raises(SweepError):
+        list(_in_grid_index_order(iter([(0, "a"), (2, "c")]), 3))
+
+
+def test_seed_worker_fingerprint_prevents_rehash(monkeypatch):
+    """The pool initializer installs the parent's fingerprint, so a
+    worker-side code_fingerprint() is a cache hit, not a tree hash."""
+    import repro.sim.sweep as sweep_mod
+
+    monkeypatch.setattr(sweep_mod, "_code_fingerprint_cache", None)
+    sweep_mod._seed_worker_fingerprint("f" * 64)
+    assert sweep_mod.code_fingerprint() == "f" * 64
+
+
+def test_parallel_sweep_chunked_path_matches_serial_on_64_points():
+    """The chunked imap_unordered executor must stay byte-identical to
+    the serial reference on a grid large enough to exercise chunking
+    (chunksize > 1) and out-of-order arrival."""
+    overrides = {"duration_ns": [SHORT], "device_variation": ["0.02"]}
+    serial = run_sweep("table3", range(8), overrides, jobs=1)
+    parallel = run_sweep("table3", range(8), overrides, jobs=2)
+    assert serial.digest() == parallel.digest()
+    assert serial.metrics == parallel.metrics

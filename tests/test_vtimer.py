@@ -127,3 +127,23 @@ def test_vtimer_activity_charged_for_dispatch(node, sim):
     vtimer_time = sum(s.dt_ns for s in segments
                       if node.registry.name_of(s.label) == vtimer_name)
     assert vtimer_time > 0
+
+
+def test_blink_schedules_o_wakeups_not_o_ticks():
+    """The timer subsystem multiplexes all virtual timers onto one
+    compare arm per wakeup: a Blink run's engine event count must scale
+    with *wakeups* (a few per LED toggle), never with the underlying
+    timer granularity (1 MHz would mean millions of events).  Pins the
+    scheduler batching contract for the calendar-queue engine."""
+    from repro.experiments.common import run_blink
+    from repro.units import seconds
+
+    node8, _, sim8 = run_blink(0, duration_ns=seconds(8))
+    node48, _, sim48 = run_blink(0, duration_ns=seconds(48))
+    # A 48 s Blink has ~48 timer wakeups; a handful of events each.
+    assert sim48.events_executed < 10 * 48
+    # Scaling is linear in wakeups (6x duration -> ~6x events), nowhere
+    # near the 6 * 8e6 additional ticks a tick-driven scheduler would pay.
+    growth = sim48.events_executed - sim8.events_executed
+    assert growth < 10 * 40
+    assert node48.vtimers.dispatches == 6 * node8.vtimers.dispatches
