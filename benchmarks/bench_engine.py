@@ -1,14 +1,17 @@
 """Engine/pipeline throughput baseline: the perf-trajectory benchmark.
 
-Measures the four numbers that the simulator fast path is judged by and
-writes them to ``results/BENCH_engine.json`` so future PRs have a
-machine-readable baseline:
+Measures the numbers that the simulator and analysis fast paths are
+judged by and writes them to ``results/BENCH_engine.json`` so future PRs
+have a machine-readable baseline:
 
 * ``engine_events_per_sec`` — raw calendar-queue throughput on a
   synthetic workload (bursty same-instant events, far-future timer arms,
   cancellations);
-* ``log_entries_per_sec`` — decode → timeline → accounting throughput of
-  the streaming pipeline over a real Blink log;
+* ``analysis_entries_per_sec`` — decode → cover → attribute throughput
+  of the offline analysis over a real Blink log, **per backend**
+  (``streaming`` vs ``columnar``), plus ``analysis_speedup_columnar``;
+  the two maps are asserted bit-identical before any speedup is
+  reported;
 * ``sweep_points_per_sec_serial`` — end-to-end table3 points per second
   on the 64-point reference grid (the number the regression gate
   watches);
@@ -16,22 +19,28 @@ machine-readable baseline:
   ``--jobs 2`` (only meaningful with >= 2 cores; the JSON records
   ``cpu_count`` so a single-core box is not read as a regression).
 
-``--check`` compares a fresh serial-throughput measurement against the
-committed baseline and exits nonzero if it regressed by more than the
-tolerance (default 25 %, the CI gate).  Runnable standalone
-(``PYTHONPATH=src python benchmarks/bench_engine.py [--check]``) or via
-pytest.
+Every timing is the **median of 3** independent runs, with the relative
+spread ``(max - min) / median`` recorded alongside — a single-shot
+number on a busy host is measurement noise (the pre-PR-4 baseline
+reported a 1.195x "parallel speedup" on a 1-CPU container).
+
+``--check`` compares fresh serial-throughput and columnar-analysis
+measurements against the committed baseline and exits nonzero if either
+regressed by more than the tolerance (default 25 %, the CI gate).
+Runnable standalone (``PYTHONPATH=src python benchmarks/bench_engine.py
+[--check]``) or via pytest.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import statistics
 import sys
 import time
 from pathlib import Path
 
-from repro.core.accounting import stream_energy_map
+from repro.core.accounting import columnar_energy_map, stream_energy_map
 from repro.core.logger import iter_entries
 from repro.sim.engine import NEAR_WINDOW_NS, Simulator
 from repro.sim.sweep import run_sweep
@@ -50,9 +59,20 @@ SWEEP_OVERRIDES = {
     "icount_jitter_pulses": ["1.0"],
 }
 
-#: Serial throughput may regress by at most this factor before --check
-#: fails (the ISSUE-3 CI gate; override with REPRO_BENCH_TOLERANCE).
+#: Gated throughputs may regress by at most this factor before --check
+#: fails (the CI gate; override with REPRO_BENCH_TOLERANCE).
 DEFAULT_TOLERANCE = 0.25
+
+#: Independent timing runs per metric; the median is reported.
+REPEATS = 3
+
+
+def _median_spread(samples: list[float]) -> tuple[float, float]:
+    """Median plus relative spread ``(max - min) / median`` — the
+    honest way to report a timing on a shared host."""
+    median = statistics.median(samples)
+    spread = (max(samples) - min(samples)) / median if median else 0.0
+    return median, spread
 
 
 def bench_engine_events(total: int = 60_000) -> float:
@@ -80,30 +100,71 @@ def bench_engine_events(total: int = 60_000) -> float:
     return sim.events_executed / wall
 
 
-def bench_log_pipeline() -> tuple[float, int]:
-    """Streaming decode→timeline→accounting throughput on a Blink log."""
+def _analysis_workload():
+    """One Blink run plus everything the analysis phase needs."""
     from repro.experiments.common import run_blink
+    from repro.tos.node import COMPONENT_NAMES
 
-    node, _, sim = run_blink(0, duration_ns=seconds(48))
+    node, _, _sim = run_blink(0, duration_ns=seconds(48))
     timeline = node.timeline()  # marks the log end
     regression = node.regression(timeline)
     raw = node.logger.raw_bytes()
-    entry_count = len(raw) // 12
-    from repro.tos.node import COMPONENT_NAMES
+    kwargs = dict(
+        fold_proxies=False,
+        idle_name=node.registry.name_of(node.idle),
+        end_time_ns=timeline.end_time_ns,
+        single_res_ids=timeline.single_device_ids(),
+        multi_res_ids=timeline.multi_device_ids(),
+    )
+    args = (regression, node.registry, COMPONENT_NAMES,
+            node.platform.icount.nominal_energy_per_pulse_j)
+    return raw, args, kwargs
 
-    start = time.perf_counter()
-    rounds = 20
-    for _ in range(rounds):
-        stream_energy_map(
-            iter_entries(raw), regression, node.registry, COMPONENT_NAMES,
-            node.platform.icount.nominal_energy_per_pulse_j,
-            idle_name=node.registry.name_of(node.idle),
-            end_time_ns=timeline.end_time_ns,
-            single_res_ids=timeline.single_device_ids(),
-            multi_res_ids=timeline.multi_device_ids(),
-        )
-    wall = time.perf_counter() - start
-    return entry_count * rounds / wall, entry_count
+
+def bench_analysis(rounds: int = 20) -> dict:
+    """Decode → cover → attribute entries/s, per analysis backend.
+
+    Each round starts from the packed log bytes (decode included) and
+    runs to a finished :class:`EnergyMap` — the whole reconstruction a
+    sweep point pays per log.  The backends' maps are asserted equal
+    before any speedup is published.
+    """
+    raw, args, kwargs = _analysis_workload()
+    entry_count = len(raw) // 12
+
+    def run_streaming():
+        return stream_energy_map(iter_entries(raw), *args, **kwargs)
+
+    def run_columnar():
+        return columnar_energy_map(raw, *args, **kwargs)
+
+    reference = run_streaming()
+    candidate = run_columnar()
+    assert list(reference.energy_j) == list(candidate.energy_j) \
+        and reference.energy_j == candidate.energy_j, \
+        "columnar backend diverged from streaming — fix before benchmarking"
+
+    throughputs: dict[str, list[float]] = {"streaming": [], "columnar": []}
+    for _ in range(REPEATS):
+        for name, fn in (("streaming", run_streaming),
+                         ("columnar", run_columnar)):
+            start = time.perf_counter()
+            for _round in range(rounds):
+                fn()
+            wall = time.perf_counter() - start
+            throughputs[name].append(entry_count * rounds / wall)
+    medians = {}
+    spreads = {}
+    for name, samples in throughputs.items():
+        medians[name], spreads[name] = _median_spread(samples)
+    return {
+        "analysis_entries_per_sec": {k: round(v) for k, v in medians.items()},
+        "analysis_entries_per_sec_spread": {
+            k: round(v, 3) for k, v in spreads.items()},
+        "analysis_speedup_columnar": round(
+            medians["columnar"] / medians["streaming"], 3),
+        "log_entry_count": entry_count,
+    }
 
 
 def bench_sweep_grid() -> tuple[float, float, str]:
@@ -117,25 +178,42 @@ def bench_sweep_grid() -> tuple[float, float, str]:
 
 
 def run_benchmarks() -> dict:
-    events_per_sec = bench_engine_events()
-    entries_per_sec, entry_count = bench_log_pipeline()
-    points_per_sec, speedup, digest = bench_sweep_grid()
-    return {
-        "engine_events_per_sec": round(events_per_sec),
-        "log_entries_per_sec": round(entries_per_sec),
-        "log_entry_count": entry_count,
-        "sweep_points_per_sec_serial": round(points_per_sec, 2),
+    events_median, events_spread = _median_spread(
+        [bench_engine_events() for _ in range(REPEATS)])
+    analysis = bench_analysis()
+    points_samples: list[float] = []
+    speedup_samples: list[float] = []
+    digest = None
+    for _ in range(REPEATS):
+        points_per_sec, speedup, run_digest = bench_sweep_grid()
+        points_samples.append(points_per_sec)
+        speedup_samples.append(speedup)
+        assert digest is None or digest == run_digest, \
+            "sweep digest unstable across repeats — determinism break"
+        digest = run_digest
+    points_median, points_spread = _median_spread(points_samples)
+    speedup_median, speedup_spread = _median_spread(speedup_samples)
+    numbers = {
+        "timing": f"median of {REPEATS}",
+        "engine_events_per_sec": round(events_median),
+        "engine_events_per_sec_spread": round(events_spread, 3),
+        "sweep_points_per_sec_serial": round(points_median, 2),
+        "sweep_points_per_sec_serial_spread": round(points_spread, 3),
         "sweep_grid_points": len(list(SWEEP_SEEDS)),
-        "parallel_speedup_jobs2": round(speedup, 3),
+        "parallel_speedup_jobs2": round(speedup_median, 3),
+        "parallel_speedup_jobs2_spread": round(speedup_spread, 3),
         "sweep_digest": digest,
         "cpu_count": os.cpu_count(),
     }
+    numbers.update(analysis)
+    return numbers
 
 
 def check_against_baseline(numbers: dict) -> list[str]:
-    """The regression gate: serial table3 throughput must stay within
-    tolerance of the committed baseline; the determinism digest must
-    match it exactly when the grid definition is unchanged."""
+    """The regression gate: serial table3 throughput and columnar
+    analysis throughput must stay within tolerance of the committed
+    baseline; the determinism digest must match it exactly when the
+    grid definition is unchanged."""
     failures: list[str] = []
     if not BASELINE_PATH.is_file():
         return [f"no committed baseline at {BASELINE_PATH}"]
@@ -150,6 +228,16 @@ def check_against_baseline(numbers: dict) -> list[str]:
             f"< {floor:.2f} (baseline "
             f"{baseline['sweep_points_per_sec_serial']:.2f} - {tolerance:.0%})"
         )
+    baseline_analysis = baseline.get("analysis_entries_per_sec", {})
+    if "columnar" in baseline_analysis:
+        floor = baseline_analysis["columnar"] * (1.0 - tolerance)
+        measured = numbers["analysis_entries_per_sec"]["columnar"]
+        if measured < floor:
+            failures.append(
+                f"columnar analysis throughput regressed: "
+                f"{measured:.0f} entries/s < {floor:.0f} (baseline "
+                f"{baseline_analysis['columnar']:.0f} - {tolerance:.0%})"
+            )
     if baseline.get("sweep_grid_points") == numbers["sweep_grid_points"] \
             and baseline.get("sweep_digest") != numbers["sweep_digest"]:
         failures.append(
@@ -178,11 +266,13 @@ def main(argv: list[str]) -> int:
 
 def test_engine_bench_smoke():
     """Tier-1 smoke: the benchmark machinery runs and its numbers are
-    sane (positive throughputs, digest-stable sweeps)."""
+    sane (positive throughputs, backend-identical maps)."""
     events_per_sec = bench_engine_events(total=2_000)
     assert events_per_sec > 0
-    entries_per_sec, entry_count = bench_log_pipeline()
-    assert entries_per_sec > 0 and entry_count > 0
+    analysis = bench_analysis(rounds=2)
+    assert analysis["log_entry_count"] > 0
+    assert analysis["analysis_entries_per_sec"]["streaming"] > 0
+    assert analysis["analysis_entries_per_sec"]["columnar"] > 0
 
 
 if __name__ == "__main__":

@@ -26,6 +26,15 @@ from repro.errors import ExperimentParameterError, SweepError
 from repro.experiments import EXPERIMENT_IDS, load_experiment, run_experiment
 
 
+def _apply_backend(backend):
+    """Export the selected analysis backend for everything the command
+    runs (experiments resolve ``$REPRO_ANALYSIS_BACKEND`` internally)."""
+    if backend is not None:
+        import os
+
+        os.environ["REPRO_ANALYSIS_BACKEND"] = backend
+
+
 def _parse_set_args(pairs, multi_valued: bool):
     """Turn repeated ``--set key=value[,value...]`` flags into a dict."""
     overrides = {}
@@ -58,6 +67,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     overrides = _parse_set_args(args.set, multi_valued=False)
+    _apply_backend(args.backend)
     result = run_experiment(args.id, seed=args.seed, overrides=overrides)
     print(result.render())
     return 0
@@ -86,7 +96,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.no_cache:
         cache_dir = None
     result = run_sweep(args.id, seeds, overrides, jobs=args.jobs,
-                       cache_dir=cache_dir)
+                       cache_dir=cache_dir, backend=args.backend)
     print(result.render())
     return 0
 
@@ -100,6 +110,7 @@ def _cmd_blink(args: argparse.Namespace) -> int:
     from repro.tos.node import COMPONENT_NAMES, NodeConfig, QuantoNode
     from repro.units import seconds, to_mj
 
+    _apply_backend(args.backend)
     sim = Simulator()
     node = QuantoNode(sim, NodeConfig(node_id=1),
                       rng_factory=RngFactory(args.seed))
@@ -107,7 +118,12 @@ def _cmd_blink(args: argparse.Namespace) -> int:
     node.boot(app.start)
     sim.run(until=seconds(args.seconds))
     if args.dump:
-        print(dump_log(node.entries(), node.registry, COMPONENT_NAMES,
+        from repro.core.logger import iter_entries
+
+        # Streaming dump: entries decode and render one at a time, so a
+        # large log never exists as a list of LogEntry objects.
+        print(dump_log(iter_entries(node.logger.raw_bytes()),
+                       node.registry, COMPONENT_NAMES,
                        limit=args.dump_limit))
         return 0
     emap = node.energy_map()
@@ -153,11 +169,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    backend_kwargs = dict(
+        choices=("streaming", "columnar"), default=None,
+        help="analysis backend for the log->energy reconstruction "
+             "(default: $REPRO_ANALYSIS_BACKEND if set, else streaming; "
+             "backends are bit-identical, columnar is faster)")
+
     p_exp = sub.add_parser("experiment", help="run one experiment")
     p_exp.add_argument("id")
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--set", action="append", metavar="KEY=VALUE",
                        help="override a sweepable parameter (repeatable)")
+    p_exp.add_argument("--backend", **backend_kwargs)
 
     p_sweep = sub.add_parser(
         "sweep", help="run an experiment over many seeds on a worker pool")
@@ -181,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="disable the result cache even if "
                               "REPRO_SWEEP_CACHE is set")
+    p_sweep.add_argument("--backend", **backend_kwargs)
 
     p_blink = sub.add_parser("blink", help="run Blink and print the map")
     p_blink.add_argument("--seconds", type=int, default=48)
@@ -188,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_blink.add_argument("--dump", action="store_true",
                          help="print the raw log instead of the map")
     p_blink.add_argument("--dump-limit", type=int, default=60)
+    p_blink.add_argument("--backend", **backend_kwargs)
 
     p_val = sub.add_parser("validate", help="lint a Blink run's log")
     p_val.add_argument("--seed", type=int, default=0)

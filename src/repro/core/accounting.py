@@ -42,20 +42,25 @@ Blink).
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.labels import ActivityLabel, ActivityRegistry
+from repro.core.logger import LogColumns, decode_columns
 from repro.core.regression import RegressionResult, SinkColumn
 from repro.core.timeline import (
     ActivitySegment,
+    ColumnarTimeline,
     MultiActivitySegment,
     PowerInterval,
     TimelineBuilder,
     TimelineStream,
 )
-from repro.errors import RegressionError
+from repro.errors import AnalysisBackendError, RegressionError
 
 #: Pseudo-activity for the constant (baseline) draw, as in Table 3.
 CONST_KEY = "Const."
@@ -64,6 +69,27 @@ UNTRACKED_KEY = "(untracked)"
 
 #: The (component, activity) pair the constant draw is charged to.
 _CONST_PAIR = (CONST_KEY, CONST_KEY)
+
+#: The selectable log→energy analysis implementations.  Both produce
+#: bit-identical :class:`EnergyMap`s (float bits and dict order) on any
+#: log — the backend-parametrized golden-digest suite enforces it.
+ANALYSIS_BACKENDS = ("streaming", "columnar")
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_ANALYSIS_BACKEND"
+
+
+def resolve_analysis_backend(backend: Optional[str] = None) -> str:
+    """Pick the analysis backend: explicit argument, else
+    ``$REPRO_ANALYSIS_BACKEND``, else the streaming default."""
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "streaming"
+    if backend not in ANALYSIS_BACKENDS:
+        known = ", ".join(ANALYSIS_BACKENDS)
+        raise AnalysisBackendError(
+            f"unknown analysis backend {backend!r}; known backends: {known}"
+        )
+    return backend
 
 
 def _overlapping(spans, t0: int, t1: int):
@@ -79,6 +105,61 @@ def _overlapping(spans, t0: int, t1: int):
         hi = s1 if s1 < t1 else t1
         if hi > lo:
             yield span, hi - lo
+
+
+def _multi_shares(pairs, window: int, idle_name: str, name_of) -> dict[str, float]:
+    """Equal-split name fractions of a ``window``-ns span from
+    ``(labels, overlap)`` pairs (labels: a frozenset, possibly empty);
+    the uncovered remainder is idle.  Multi labels never rebind, so
+    names resolve immediately.  Shared by the streaming and columnar
+    backends — one implementation, identical float arithmetic."""
+    shares: dict[str, float] = {}
+    covered = 0
+    for labels, overlap in pairs:
+        covered += overlap
+        if not labels:
+            shares[idle_name] = (
+                shares.get(idle_name, 0.0) + overlap / window
+            )
+        else:
+            split = overlap / window / len(labels)
+            for label in labels:
+                name = name_of(label)
+                shares[name] = shares.get(name, 0.0) + split
+    remainder = window - covered
+    if remainder > 0:
+        shares[idle_name] = (
+            shares.get(idle_name, 0.0) + remainder / window
+        )
+    return shares
+
+
+def _charge_named(
+    energy_map: "EnergyMap",
+    component: str,
+    joules: float,
+    named: dict[str, int],
+    total_share: int,
+    idle_ns: int,
+    idle_name: str,
+) -> None:
+    """Charge one interval×device cover, grouped by activity name, into
+    the map — the single place single-device joules are attributed (the
+    streaming path calls it per cover, the columnar fold per row), so
+    both backends produce identical arithmetic in identical order."""
+    if idle_ns > 0:
+        named[idle_name] = named.get(idle_name, 0) + idle_ns
+        total_share += idle_ns
+    if not total_share:
+        total_share = 1
+    # Inlined EnergyMap.add_energy: one dict probe per activity on
+    # the hottest attribution loop, same accumulation order.
+    energy_j = energy_map.energy_j
+    for activity, share_ns in named.items():
+        key = (component, activity)
+        joule_share = joules * (share_ns / total_share)
+        energy_j[key] = energy_j.get(key, 0.0) + joule_share
+        energy_map.reconstructed_energy_j += joule_share
 
 
 def _scan_cover(
@@ -380,31 +461,6 @@ class EnergyAccumulator:
                 covered += t1 - lo
         return shares, (t1 - t0) - covered
 
-    def _multi_shares(self, pairs, t0: int, t1: int) -> dict[str, float]:
-        """Equal-split name fractions of [t0,t1) from ``(segment,
-        overlap)`` pairs; the uncovered remainder is idle.  Multi labels
-        never rebind, so names resolve immediately."""
-        shares: dict[str, float] = {}
-        window = t1 - t0
-        covered = 0
-        for segment, overlap in pairs:
-            covered += overlap
-            if not segment.labels:
-                shares[self.idle_name] = (
-                    shares.get(self.idle_name, 0.0) + overlap / window
-                )
-            else:
-                split = overlap / window / len(segment.labels)
-                for label in segment.labels:
-                    name = self.registry.name_of(label)
-                    shares[name] = shares.get(name, 0.0) + split
-        remainder = window - covered
-        if remainder > 0:
-            shares[self.idle_name] = (
-                shares.get(self.idle_name, 0.0) + remainder / window
-            )
-        return shares
-
     def _multi_cover(self, res_id: int, t0: int, t1: int) -> dict[str, float]:
         """Streaming multi-device cover: buffered closed segments plus
         the open span (snapshotted and clamped at the window end)."""
@@ -421,7 +477,10 @@ class EnergyAccumulator:
             spans.append(MultiActivitySegment(
                 res_id=res_id, t0_ns=tracker.open_start_ns, t1_ns=t1,
                 labels=tracker.current_labels()))
-        return self._multi_shares(_overlapping(spans, t0, t1), t0, t1)
+        return _multi_shares(
+            ((span.labels, overlap)
+             for span, overlap in _overlapping(spans, t0, t1)),
+            t1 - t0, self.idle_name, self.registry.name_of)
 
     def _multi_cover_list(
         self,
@@ -433,7 +492,10 @@ class EnergyAccumulator:
         """Batch-style multi cover over a finished segment list (tail
         replay): same cursor contract as :func:`_scan_cover`."""
         pairs, _covered, cursor = _scan_cover(segments, start, t0, t1)
-        return self._multi_shares(pairs, t0, t1), cursor
+        shares = _multi_shares(
+            ((span.labels, overlap) for span, overlap in pairs),
+            t1 - t0, self.idle_name, self.registry.name_of)
+        return shares, cursor
 
     def _apply_single(
         self,
@@ -458,20 +520,8 @@ class EnergyAccumulator:
             name = name_of(label)
             named[name] = named.get(name, 0) + overlap
             total_share += overlap
-        if idle_ns > 0:
-            named[self.idle_name] = named.get(self.idle_name, 0) + idle_ns
-            total_share += idle_ns
-        if not total_share:
-            total_share = 1
-        # Inlined EnergyMap.add_energy: one dict probe per activity on
-        # the hottest attribution loop, same accumulation order.
-        energy_map = self.map
-        energy_j = energy_map.energy_j
-        for activity, share_ns in named.items():
-            key = (component, activity)
-            joule_share = joules * (share_ns / total_share)
-            energy_j[key] = energy_j.get(key, 0.0) + joule_share
-            energy_map.reconstructed_energy_j += joule_share
+        _charge_named(self.map, component, joules, named, total_share,
+                      idle_ns, self.idle_name)
 
     def _on_interval(self, interval: PowerInterval) -> None:
         if self._intervals_seen == 0:
@@ -657,6 +707,299 @@ class EnergyAccumulator:
         return self.map
 
 
+# -- columnar backend -------------------------------------------------------
+
+
+class _ColumnarCharge:
+    """One charged device's precomputed per-interval columns: for every
+    interval whose state vector gives this device a power column (in
+    interval order), the component name, the joules (vectorized
+    draw × duration products), and — for tracked devices — the ragged
+    cover rows produced by :func:`_ragged_cover`.  ``cursor`` walks the
+    columns as the ordered fold sweeps the intervals."""
+
+    __slots__ = ("kind", "components", "joules", "offsets",
+                 "pair_names", "pair_sets", "pair_overlap", "cursor")
+
+    KIND_SINGLE = 0
+    KIND_MULTI = 1
+    KIND_UNTRACKED = 2
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.components: list[str] = []
+        self.joules: list[float] = []
+        self.offsets: list[int] = [0]
+        self.pair_names: list[str] = []
+        self.pair_sets: list[frozenset] = []
+        self.pair_overlap: list[int] = []
+        self.cursor = 0
+
+
+def _ragged_cover(window_t0, window_t1, seg_t0, seg_t1):
+    """``searchsorted``-based interval cover: how a batch of windows
+    divides among one device's sorted, non-overlapping segments.
+
+    Returns ``(offsets, seg_rows, overlaps)``: window ``i`` is covered
+    by segment rows ``seg_rows[offsets[i]:offsets[i+1]]`` with the
+    matching per-row overlaps (all positive, in time order) — exactly
+    the spans the cursor-based streaming cover yields, computed for
+    every window at once.
+    """
+    # A segment overlaps [a, b) iff its t1 > a and its t0 < b; with both
+    # boundaries arrays sorted, those are two vectorized bisections.
+    lo = np.searchsorted(seg_t1, window_t0, side="right")
+    hi = np.searchsorted(seg_t0, window_t1, side="left")
+    counts = hi - lo
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    window_rows = np.repeat(np.arange(len(counts)), counts)
+    seg_rows = (np.arange(total, dtype=np.int64)
+                - np.repeat(offsets[:-1], counts)
+                + np.repeat(lo, counts))
+    overlaps = (np.minimum(seg_t1[seg_rows], window_t1[window_rows])
+                - np.maximum(seg_t0[seg_rows], window_t0[window_rows]))
+    return offsets, seg_rows, overlaps
+
+
+ColumnarSource = Union[bytes, bytearray, memoryview, LogColumns,
+                       ColumnarTimeline, Iterable]
+
+
+def columnar_energy_map(
+    source: ColumnarSource,
+    regression: RegressionResult,
+    registry: ActivityRegistry,
+    component_names: dict[int, str],
+    energy_per_pulse_j: float,
+    *,
+    fold_proxies: bool = False,
+    idle_name: str = "Idle",
+    end_time_ns: Optional[int] = None,
+    single_res_ids: Optional[Iterable[int]] = None,
+    multi_res_ids: Optional[Iterable[int]] = None,
+) -> EnergyMap:
+    """The columnar backend: the whole log → energy pipeline on column
+    arrays.
+
+    ``source`` may be packed log bytes (decoded in one
+    ``np.frombuffer`` shot), :class:`~repro.core.logger.LogColumns`, a
+    prebuilt :class:`~repro.core.timeline.ColumnarTimeline` (whose own
+    ``end_time_ns``/device sets then apply), or an iterable of decoded
+    entries (the compat path).
+
+    The expensive per-entry and per-interval work is vectorized —
+    decode, interval/segment reconstruction as columns, the
+    ``searchsorted`` cover, and the duration × draw energy products —
+    while the final fold into the :class:`EnergyMap` walks the
+    precomputed columns in exactly the order the streaming accumulator
+    charges them: interval order, then state-vector column order, then
+    activity-name first-occurrence order.  Same operations on the same
+    operands in the same order ⇒ the map is bit-identical to the
+    streaming backend's (float bits *and* dict insertion order) — the
+    contract the backend-parametrized golden tests enforce.
+    """
+    if isinstance(source, ColumnarTimeline):
+        timeline = source
+    else:
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            columns = decode_columns(bytes(source))
+        elif isinstance(source, LogColumns):
+            columns = source
+        else:
+            columns = LogColumns.from_entries(source)
+        timeline = ColumnarTimeline(
+            columns, end_time_ns=end_time_ns,
+            single_res_ids=single_res_ids, multi_res_ids=multi_res_ids,
+        )
+    emap = EnergyMap()
+    n_intervals = len(timeline.interval_t0)
+    if not n_intervals:
+        raise RegressionError("no power intervals to account")
+    if regression is None:
+        raise RegressionError(
+            "accounting needs a regression once power intervals exist"
+        )
+    column_power: dict[tuple[int, int], tuple[str, float]] = {}
+    for column in regression.columns:
+        column_power[(column.res_id, column.value)] = (
+            column.name, regression.power_w[column.name])
+    # Per-vector charge plans, exactly as the accumulator resolves them:
+    # the sorted (res_id, value) pairs that carry a power column, with
+    # the display component name.
+    vectors = timeline.vectors
+    plan_raw: list[list[tuple[int, str, float]]] = []
+    for vector in vectors:
+        resolved = []
+        for res_id, value in vector:
+            entry = column_power.get((res_id, value))
+            if entry is None:
+                continue  # baseline state of the sink: no marginal draw
+            column_name, power_w = entry
+            resolved.append((
+                res_id,
+                component_names.get(res_id, column_name),
+                power_w,
+            ))
+        plan_raw.append(resolved)
+    interval_vec = timeline.interval_vec
+    dt_ns = timeline.interval_t1 - timeline.interval_t0
+    # Vectorized energy products: duration and draw as elementwise
+    # multiplies — the identical IEEE-754 operations the streaming path
+    # performs one interval at a time.
+    dt_s = dt_ns * 1e-9
+    const_list = (regression.const_power_w * dt_s).tolist()
+    # Per charged device: gather its intervals, joules, and cover rows.
+    charged: dict[int, _ColumnarCharge] = {}
+    label_name: dict[int, str] = {}
+
+    def _name_of_value(value: int) -> str:
+        name = label_name.get(value)
+        if name is None:
+            name = label_name[value] = registry.name_of(
+                ActivityLabel.decode(value))
+        return name
+
+    for res_id in sorted({r for plan in plan_raw for r, _, _ in plan}):
+        single = timeline.single_columns(res_id)
+        multi = timeline.multi_columns(res_id) if single is None else None
+        if single is not None:
+            charge = _ColumnarCharge(_ColumnarCharge.KIND_SINGLE)
+        elif multi is not None:
+            charge = _ColumnarCharge(_ColumnarCharge.KIND_MULTI)
+        else:
+            charge = _ColumnarCharge(_ColumnarCharge.KIND_UNTRACKED)
+        has_power = np.zeros(len(vectors), dtype=bool)
+        power_by_vec = np.zeros(len(vectors), dtype=np.float64)
+        comp_by_vec: list[Optional[str]] = [None] * len(vectors)
+        for vec_id, plan in enumerate(plan_raw):
+            for rid, component, power_w in plan:
+                if rid == res_id:
+                    has_power[vec_id] = True
+                    power_by_vec[vec_id] = power_w
+                    comp_by_vec[vec_id] = component
+        rows = np.nonzero(has_power[interval_vec])[0]
+        row_vecs = interval_vec[rows]
+        charge.components = [comp_by_vec[v] for v in row_vecs.tolist()]
+        charge.joules = (power_by_vec[row_vecs] * dt_s[rows]).tolist()
+        if charge.kind == _ColumnarCharge.KIND_SINGLE:
+            offsets, seg_rows, overlaps = _ragged_cover(
+                timeline.interval_t0[rows], timeline.interval_t1[rows],
+                single.t0, single.t1)
+            if fold_proxies:
+                seg_names = [
+                    _name_of_value(b if b is not None else label)
+                    for label, b in zip(single.labels, single.bound)
+                ]
+            else:
+                seg_names = [_name_of_value(v) for v in single.labels]
+            charge.offsets = offsets.tolist()
+            charge.pair_names = [seg_names[j] for j in seg_rows.tolist()]
+            charge.pair_overlap = overlaps.tolist()
+        elif charge.kind == _ColumnarCharge.KIND_MULTI:
+            offsets, seg_rows, overlaps = _ragged_cover(
+                timeline.interval_t0[rows], timeline.interval_t1[rows],
+                multi.t0, multi.t1)
+            sets = timeline.label_sets
+            seg_sets = [sets[s] for s in multi.set_ids]
+            charge.offsets = offsets.tolist()
+            charge.pair_sets = [seg_sets[j] for j in seg_rows.tolist()]
+            charge.pair_overlap = overlaps.tolist()
+        charged[res_id] = charge
+    plans: list[list[_ColumnarCharge]] = [
+        [charged[rid] for rid, _, _ in plan] for plan in plan_raw
+    ]
+    # The ordered fold: the one remaining per-interval loop, walking
+    # precomputed columns — no trackers, no deques, no span objects.
+    energy_j = emap.energy_j
+    name_of = registry.name_of
+    dt_ns_list = dt_ns.tolist()
+    vec_list = interval_vec.tolist()
+    for i in range(n_intervals):
+        const_j = const_list[i]
+        energy_j[_CONST_PAIR] = energy_j.get(_CONST_PAIR, 0.0) + const_j
+        emap.reconstructed_energy_j += const_j
+        for charge in plans[vec_list[i]]:
+            cursor = charge.cursor
+            charge.cursor = cursor + 1
+            joules = charge.joules[cursor]
+            component = charge.components[cursor]
+            kind = charge.kind
+            if kind == _ColumnarCharge.KIND_SINGLE:
+                start = charge.offsets[cursor]
+                stop = charge.offsets[cursor + 1]
+                named: dict[str, int] = {}
+                covered = 0
+                pair_names = charge.pair_names
+                pair_overlap = charge.pair_overlap
+                for k in range(start, stop):
+                    name = pair_names[k]
+                    overlap = pair_overlap[k]
+                    named[name] = named.get(name, 0) + overlap
+                    covered += overlap
+                _charge_named(emap, component, joules, named, covered,
+                              dt_ns_list[i] - covered, idle_name)
+            elif kind == _ColumnarCharge.KIND_MULTI:
+                start = charge.offsets[cursor]
+                stop = charge.offsets[cursor + 1]
+                shares = _multi_shares(
+                    zip(charge.pair_sets[start:stop],
+                        charge.pair_overlap[start:stop]),
+                    dt_ns_list[i], idle_name, name_of)
+                for activity, fraction in shares.items():
+                    emap.add_energy(component, activity, joules * fraction)
+            else:
+                emap.add_energy(component, UNTRACKED_KEY, joules)
+    # Time breakdown (Table 3a), in the accumulator's finish order:
+    # sorted devices, then per-name totals in first-closed order — the
+    # same per-device name→ns accumulation the streaming trackers keep,
+    # computed here from the segment columns (int sums, exact).
+    for res_id in timeline.single_device_ids():
+        single = timeline.single_columns(res_id)
+        if single is None or not len(single):
+            continue
+        component = component_names.get(res_id, f"res{res_id}")
+        spans = (single.t1 - single.t0).tolist()
+        per_name: dict[str, int] = {}
+        if fold_proxies:
+            for label, bound, span in zip(single.labels, single.bound,
+                                          spans):
+                name = _name_of_value(bound if bound is not None else label)
+                per_name[name] = per_name.get(name, 0) + span
+        else:
+            for label, span in zip(single.labels, spans):
+                name = _name_of_value(label)
+                per_name[name] = per_name.get(name, 0) + span
+        for name, total_ns in per_name.items():
+            emap.add_time(component, name, total_ns)
+    for res_id in timeline.multi_device_ids():
+        multi = timeline.multi_columns(res_id)
+        if multi is None or not len(multi):
+            continue
+        component = component_names.get(res_id, f"res{res_id}")
+        sets = timeline.label_sets
+        spans = (multi.t1 - multi.t0).tolist()
+        per_name = {}
+        for set_id, span in zip(multi.set_ids, spans):
+            labels = sets[set_id]
+            if not labels:
+                per_name[idle_name] = per_name.get(idle_name, 0) + span
+                continue
+            split = span // len(labels)
+            for label in labels:
+                name = name_of(label)
+                per_name[name] = per_name.get(name, 0) + split
+        for name, total_ns in per_name.items():
+            emap.add_time(component, name, total_ns)
+    emap.span_ns = int(timeline.interval_t1[n_intervals - 1]) \
+        - int(timeline.interval_t0[0])
+    emap.metered_energy_j = (
+        int(timeline.interval_pulses.sum()) * energy_per_pulse_j
+    )
+    return emap
+
+
 def stream_energy_map(
     entries: Iterable,
     regression: RegressionResult,
@@ -669,10 +1012,24 @@ def stream_energy_map(
     end_time_ns: Optional[int] = None,
     single_res_ids: Optional[Iterable[int]] = None,
     multi_res_ids: Optional[Iterable[int]] = None,
+    backend: Optional[str] = None,
 ) -> EnergyMap:
     """One-pass log → timeline → accounting: feed decoded entries (any
     iterable, e.g. :func:`repro.core.logger.iter_entries`) straight into
-    an :class:`EnergyAccumulator` and return the finished map."""
+    an :class:`EnergyAccumulator` and return the finished map.
+
+    ``backend`` (or ``$REPRO_ANALYSIS_BACKEND``) selects the analysis
+    implementation; ``"columnar"`` routes the same inputs through
+    :func:`columnar_energy_map`, bit-identical by contract.
+    """
+    if resolve_analysis_backend(backend) == "columnar":
+        return columnar_energy_map(
+            entries, regression, registry, component_names,
+            energy_per_pulse_j,
+            fold_proxies=fold_proxies, idle_name=idle_name,
+            end_time_ns=end_time_ns,
+            single_res_ids=single_res_ids, multi_res_ids=multi_res_ids,
+        )
     accumulator = EnergyAccumulator(
         regression, registry, component_names, energy_per_pulse_j,
         fold_proxies=fold_proxies, idle_name=idle_name,
@@ -690,11 +1047,13 @@ def build_energy_map(
     energy_per_pulse_j: float,
     fold_proxies: bool = False,
     idle_name: str = "Idle",
+    backend: Optional[str] = None,
 ) -> EnergyMap:
     """Merge power intervals, regression, and activity segments — the
     batch wrapper: re-feeds the builder's (already sorted) entries
-    through the streaming accumulator with the builder's fully-inferred
-    device sets, so batch and stream are one implementation.
+    through the selected backend with the builder's fully-inferred
+    device sets, so batch and stream (and columnar) are one
+    implementation.
 
     ``component_names`` maps res_id to the display name of each device.
     Devices present in the power layout but absent from the activity log
@@ -711,4 +1070,5 @@ def build_energy_map(
         end_time_ns=timeline.end_time_ns,
         single_res_ids=timeline.single_device_ids(),
         multi_res_ids=timeline.multi_device_ids(),
+        backend=backend,
     )

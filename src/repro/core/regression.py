@@ -164,6 +164,30 @@ def solve_breakdown(
     if not usable:
         raise RegressionError("no usable power intervals")
     vectors, times_ns, energies = group_intervals(usable, energy_per_pulse_j)
+    return solve_grouped(
+        vectors, times_ns, energies, layout, voltage,
+        weighting=weighting, strict=strict,
+    )
+
+
+def solve_grouped(
+    vectors: Sequence[tuple[tuple[int, int], ...]],
+    times_ns: Sequence[int],
+    energies: Sequence[float],
+    layout: Sequence[SinkColumn],
+    voltage: float,
+    *,
+    weighting: str = "sqrt_et",
+    strict: bool = False,
+) -> RegressionResult:
+    """Solve the breakdown from already-grouped ``(E_j, t_j)`` inputs.
+
+    This is the solver core behind :func:`solve_breakdown`; the columnar
+    backend feeds it grouped sums computed straight off the interval
+    columns (:meth:`repro.core.timeline.ColumnarTimeline.grouped_inputs`)
+    without ever materializing :class:`PowerInterval` objects.  Given
+    equal groups, the result is identical to the interval path's.
+    """
     if not vectors:
         raise RegressionError("no grouped power states")
 
@@ -227,9 +251,9 @@ def solve_breakdown(
         y=y,
         y_hat=y_hat,
         weights=weights,
-        group_states=vectors,
+        group_states=list(vectors),
         group_time_ns=list(times_ns),
-        group_energy_j=energies,
+        group_energy_j=list(energies),
         dropped_columns=dropped,
         aliased_groups=aliased,
         weighting=weighting,

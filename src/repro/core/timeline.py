@@ -43,8 +43,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+import numpy as np
+
 from repro.core.labels import ActivityLabel
 from repro.core.logger import (
+    LogColumns,
     LogEntry,
     TYPE_ACT_ADD,
     TYPE_ACT_BIND,
@@ -560,6 +563,423 @@ class TimelineStream:
 
     def multi_device_ids(self) -> list[int]:
         return sorted(self._multi_ids)
+
+
+# -- columnar reconstruction ------------------------------------------------
+
+
+class _SingleColumns:
+    """One single-activity device's segments as parallel columns.
+
+    ``t0``/``t1`` are sorted, non-overlapping int64 arrays (zero-length
+    segments were never emitted); ``labels`` holds the painted 16-bit
+    encodings and ``bound`` the bind-resolved encoding (or ``None``) per
+    segment — the columnar form of :class:`ActivitySegment`.
+    """
+
+    __slots__ = ("t0", "t1", "labels", "bound")
+
+    def __init__(self, t0, t1, labels, bound) -> None:
+        self.t0 = t0
+        self.t1 = t1
+        self.labels = labels
+        self.bound = bound
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+class _MultiColumns:
+    """One multi-activity device's segments as parallel columns;
+    ``set_ids`` indexes :attr:`ColumnarTimeline.label_sets`."""
+
+    __slots__ = ("t0", "t1", "set_ids")
+
+    def __init__(self, t0, t1, set_ids) -> None:
+        self.t0 = t0
+        self.t1 = t1
+        self.set_ids = set_ids
+
+    def __len__(self) -> int:
+        return len(self.set_ids)
+
+
+class ColumnarTimeline:
+    """The whole reconstruction as column arrays: power intervals and
+    activity segments rebuilt from :class:`~repro.core.logger.LogColumns`
+    without materializing a single :class:`LogEntry`,
+    :class:`PowerInterval`, or segment object.
+
+    Semantics mirror the streaming trackers entry-for-entry (the
+    backend-equivalence tests pin the outputs bit-for-bit):
+
+    * intervals close at each power-state boundary and finally at the
+      last record of *any* type; state vectors are interned tuples in
+      sorted-``res_id`` order, exactly like :class:`_IntervalTracker`;
+    * single-device segments span consecutive change/bind records, with
+      zero-length spans dropped and the trailing span closed at
+      ``end_time_ns``; bind events resolve every unresolved segment of
+      the label they rebind, transitively, like :class:`_SingleTracker`
+      with an unbounded horizon;
+    * multi-device spans carry interned ``frozenset`` label sets — the
+      *same* interned objects per distinct set, so downstream iteration
+      order matches the streaming path's.
+
+    Entries must be in log order.  Devices may be declared up front
+    (always the case on node paths); otherwise they are inferred over
+    the whole log like :class:`TimelineBuilder` does.
+    """
+
+    def __init__(
+        self,
+        columns: LogColumns,
+        end_time_ns: Optional[int] = None,
+        single_res_ids: Optional[Iterable[int]] = None,
+        multi_res_ids: Optional[Iterable[int]] = None,
+    ) -> None:
+        self.columns = columns
+        n = len(columns)
+        if end_time_ns is None:
+            end_time_ns = int(columns.time_ns[-1]) if n else 0
+        self.end_time_ns = end_time_ns
+        types = columns.type
+        res = columns.res_id
+        is_single_entry = (types == TYPE_ACT_CHANGE) \
+            | (types == TYPE_ACT_BIND)
+        is_multi_entry = (types == TYPE_ACT_ADD) | (types == TYPE_ACT_REMOVE)
+        self._single_ids = set(single_res_ids or [])
+        self._multi_ids = set(multi_res_ids or [])
+        # Whole-log device inference, replicating the batch builder's
+        # in-order rule: add/remove marks a device multi; change/bind
+        # marks it single only if it was not yet multi at that point —
+        # i.e. its first change precedes its first add/remove.
+        single_pos = np.nonzero(is_single_entry)[0]
+        multi_pos = np.nonzero(is_multi_entry)[0]
+        first_multi: dict[int, int] = {rid: -1 for rid in self._multi_ids}
+        if len(multi_pos):
+            rids, firsts = np.unique(res[multi_pos], return_index=True)
+            for rid, first in zip(rids.tolist(), firsts.tolist()):
+                pos = int(multi_pos[first])
+                if rid not in first_multi:
+                    first_multi[rid] = pos
+                self._multi_ids.add(rid)
+        if len(single_pos):
+            rids, firsts = np.unique(res[single_pos], return_index=True)
+            for rid, first in zip(rids.tolist(), firsts.tolist()):
+                bound = first_multi.get(rid)
+                if bound is None or int(single_pos[first]) < bound:
+                    self._single_ids.add(rid)
+        self._build_intervals(single_pos, multi_pos)
+        self._singles: dict[int, _SingleColumns] = {}
+        for rid in sorted(self._single_ids):
+            mask = is_single_entry & (res == rid)
+            rows = np.nonzero(mask)[0]
+            # The streaming feed drops a change/bind the moment its
+            # res_id is known to be multi, so rows at or past the
+            # device's first add/remove (or all rows, when it was
+            # declared multi up front: bound -1) never reach the
+            # single tracker.
+            bound = first_multi.get(rid)
+            if bound is not None:
+                rows = rows[rows < bound]
+            self._singles[rid] = self._build_single(rows)
+        self.label_sets: list[frozenset[ActivityLabel]] = []
+        self._set_intern: dict[tuple[int, ...], int] = {}
+        self._multis: dict[int, _MultiColumns] = {}
+        for rid in sorted(self._multi_ids):
+            mask = is_multi_entry & (res == rid)
+            self._multis[rid] = self._build_multi(np.nonzero(mask)[0])
+
+    # -- construction -------------------------------------------------------
+
+    def _build_intervals(self, single_pos, multi_pos) -> None:
+        """Power entries → interval columns, fully vectorized.
+
+        Equivalent to replaying :class:`_IntervalTracker` entry by
+        entry:
+
+        * the span opens at the first power/boot entry; every *non-boot*
+          power entry at a time strictly later than the open span emits
+          a boundary (same-time entries merge, boots never emit) —
+          computed as a first-of-each-distinct-time mask;
+        * pulses are the iCount deltas between consecutive boundaries;
+        * the state vector at each boundary is the last value every sink
+          set *before* the emitting entry — a per-sink ``searchsorted``
+          forward fill — with equal rows interned via ``np.unique``;
+        * the trailing span closes at the last record of any type, with
+          the post-log state vector and non-negative clamped pulses.
+        """
+        columns = self.columns
+        types = columns.type
+        p_pos = np.nonzero(
+            (types == TYPE_POWERSTATE) | (types == TYPE_BOOT))[0]
+        self.vectors: list[tuple[tuple[int, int], ...]] = []
+        n_power = len(p_pos)
+        n = len(columns)
+        if not n_power or not n:
+            self.interval_t0 = np.empty(0, dtype=np.int64)
+            self.interval_t1 = np.empty(0, dtype=np.int64)
+            self.interval_pulses = np.empty(0, dtype=np.int64)
+            self.interval_vec = np.empty(0, dtype=np.intp)
+            return
+        p_types = types[p_pos]
+        p_res = columns.res_id[p_pos]
+        p_time = columns.time_ns[p_pos]
+        p_ic = columns.icount[p_pos]
+        p_val = columns.value[p_pos]
+        open_time = int(p_time[0])
+        open_ic = int(p_ic[0])
+        # Emitting entries: non-boot rows whose time exceeds the running
+        # span start.  Times are non-decreasing, so the running start is
+        # simply the previous candidate's time (or the open time).
+        candidates = np.nonzero(p_types != TYPE_BOOT)[0]
+        cand_times = p_time[candidates]
+        previous = np.concatenate((
+            np.array([open_time], dtype=np.int64), cand_times[:-1]))
+        emit = candidates[cand_times > previous]
+        boundary_times = p_time[emit]
+        boundary_ic = p_ic[emit]
+        if len(emit):
+            t0s = np.concatenate((
+                np.array([open_time], dtype=np.int64), boundary_times[:-1]))
+            pulse_base = np.concatenate((
+                np.array([open_ic], dtype=np.int64), boundary_ic[:-1]))
+            t1s = boundary_times
+            pulses = boundary_ic - pulse_base
+        else:
+            t0s = np.empty(0, dtype=np.int64)
+            t1s = np.empty(0, dtype=np.int64)
+            pulses = np.empty(0, dtype=np.int64)
+        # Trailing span: closes at the last record of *any* type (time
+        # past it is unobservable), clamped to non-negative pulses.
+        last_t = int(columns.time_ns[n - 1])
+        last_ic = int(columns.icount[n - 1])
+        tail_start = int(t1s[-1]) if len(t1s) else open_time
+        tail_ic = int(boundary_ic[-1]) if len(t1s) else open_ic
+        has_tail = last_t > tail_start
+        if has_tail:
+            t0s = np.concatenate((t0s, [tail_start]))
+            t1s = np.concatenate((t1s, [last_t]))
+            pulses = np.concatenate((pulses, [max(last_ic - tail_ic, 0)]))
+        # State vectors: one query per boundary (the state *before* the
+        # emitting entry) plus the post-log state for the tail.  Per
+        # sink, the value at query q is the sink's last write before
+        # row q — a forward fill by bisection over its write positions.
+        queries = emit
+        if has_tail:
+            queries = np.concatenate((queries, [n_power]))
+        sink_ids = np.unique(p_res).tolist()
+        value_matrix = np.full((len(queries), len(sink_ids)), -1,
+                               dtype=np.int64)
+        for column_index, rid in enumerate(sink_ids):
+            writes = np.nonzero(p_res == rid)[0]
+            write_values = p_val[writes]
+            fill = np.searchsorted(writes, queries, side="left") - 1
+            seen = fill >= 0
+            value_matrix[seen, column_index] = write_values[fill[seen]]
+        intern: dict[tuple[int, ...], int] = {}
+        vec_ids = []
+        vectors = self.vectors
+        for row in value_matrix.tolist():
+            key = tuple(row)
+            vec_id = intern.get(key)
+            if vec_id is None:
+                vec_id = intern[key] = len(vectors)
+                vectors.append(tuple(
+                    (rid, value) for rid, value in zip(sink_ids, row)
+                    if value != -1))
+            vec_ids.append(vec_id)
+        self.interval_t0 = t0s
+        self.interval_t1 = t1s
+        self.interval_pulses = pulses
+        self.interval_vec = np.array(vec_ids, dtype=np.intp)
+
+    def _build_single(self, pos: np.ndarray) -> _SingleColumns:
+        """One device's change/bind rows → segment columns, with the
+        :class:`_SingleTracker` bind semantics (pop every unresolved
+        segment of the rebound label; chain transitively)."""
+        columns = self.columns
+        bind_rows = columns.type[pos] == TYPE_ACT_BIND
+        if not bind_rows.any():
+            # No binds: segments are simply the spans between
+            # consecutive changes (plus the trailing span to the window
+            # end), zero-length spans dropped — fully vectorized.
+            times = columns.time_ns[pos]
+            values = columns.value[pos]
+            if not len(pos):
+                empty = np.empty(0, dtype=np.int64)
+                return _SingleColumns(t0=empty, t1=empty, labels=[],
+                                      bound=[])
+            t0 = times
+            t1 = np.concatenate((times[1:], [self.end_time_ns]))
+            keep = t1 > t0
+            kept_labels = values[keep].tolist()
+            return _SingleColumns(
+                t0=t0[keep], t1=t1[keep],
+                labels=kept_labels,
+                bound=[None] * len(kept_labels),
+            )
+        times = columns.time_ns[pos].tolist()
+        labels = columns.value[pos].tolist()
+        binds = bind_rows.tolist()
+        t0s: list[int] = []
+        t1s: list[int] = []
+        seg_labels: list[int] = []
+        bound: list[Optional[int]] = []
+        unresolved: dict[int, list[int]] = {}
+        open_label: Optional[int] = None
+        open_t0 = 0
+        for k in range(len(times)):
+            t = times[k]
+            new_label = labels[k]
+            previous_label = open_label
+            if open_label is not None and t > open_t0:
+                index = len(seg_labels)
+                t0s.append(open_t0)
+                t1s.append(t)
+                seg_labels.append(open_label)
+                bound.append(None)
+                unresolved.setdefault(open_label, []).append(index)
+            if binds[k] and previous_label is not None:
+                pending = unresolved.pop(previous_label, [])
+                if pending:
+                    for index in pending:
+                        bound[index] = new_label
+                    unresolved.setdefault(new_label, []).extend(pending)
+            open_label = new_label
+            open_t0 = t
+        if open_label is not None and self.end_time_ns > open_t0:
+            t0s.append(open_t0)
+            t1s.append(self.end_time_ns)
+            seg_labels.append(open_label)
+            bound.append(None)
+        return _SingleColumns(
+            t0=np.array(t0s, dtype=np.int64),
+            t1=np.array(t1s, dtype=np.int64),
+            labels=seg_labels,
+            bound=bound,
+        )
+
+    def _intern_set(self, values: set[int]) -> int:
+        key = tuple(sorted(values))
+        set_id = self._set_intern.get(key)
+        if set_id is None:
+            set_id = len(self.label_sets)
+            self._set_intern[key] = set_id
+            self.label_sets.append(
+                frozenset(ActivityLabel.decode(v) for v in key))
+        return set_id
+
+    def _build_multi(self, pos: np.ndarray) -> _MultiColumns:
+        """One device's add/remove rows → label-set spans, mirroring
+        :class:`_MultiTracker` (snapshot emitted before each change)."""
+        columns = self.columns
+        times = columns.time_ns[pos].tolist()
+        labels = columns.value[pos].tolist()
+        adds = (columns.type[pos] == TYPE_ACT_ADD).tolist()
+        t0s: list[int] = []
+        t1s: list[int] = []
+        set_ids: list[int] = []
+        current: set[int] = set()
+        start = 0
+        started = False
+        for k in range(len(times)):
+            t = times[k]
+            if started and t > start:
+                t0s.append(start)
+                t1s.append(t)
+                set_ids.append(self._intern_set(current))
+            if adds[k]:
+                current.add(labels[k])
+            else:
+                current.discard(labels[k])
+            start = t
+            started = True
+        if started and self.end_time_ns > start:
+            t0s.append(start)
+            t1s.append(self.end_time_ns)
+            set_ids.append(self._intern_set(current))
+        return _MultiColumns(
+            t0=np.array(t0s, dtype=np.int64),
+            t1=np.array(t1s, dtype=np.int64),
+            set_ids=set_ids,
+        )
+
+    # -- views --------------------------------------------------------------
+
+    def single_device_ids(self) -> list[int]:
+        return sorted(self._single_ids)
+
+    def multi_device_ids(self) -> list[int]:
+        return sorted(self._multi_ids)
+
+    def single_columns(self, res_id: int) -> Optional[_SingleColumns]:
+        return self._singles.get(res_id)
+
+    def multi_columns(self, res_id: int) -> Optional[_MultiColumns]:
+        return self._multis.get(res_id)
+
+    def power_intervals(self) -> list[PowerInterval]:
+        """Materialize the interval columns as objects (tests, tools)."""
+        vectors = self.vectors
+        return [
+            PowerInterval(t0_ns=t0, t1_ns=t1, pulses=p, states=vectors[v])
+            for t0, t1, p, v in zip(
+                self.interval_t0.tolist(), self.interval_t1.tolist(),
+                self.interval_pulses.tolist(), self.interval_vec.tolist())
+        ]
+
+    def activity_segments(self, res_id: int) -> list[ActivitySegment]:
+        """Materialize one device's segment columns as objects."""
+        device = self._singles.get(res_id)
+        if device is None:
+            return []
+        segments = []
+        for t0, t1, label, bound in zip(
+                device.t0.tolist(), device.t1.tolist(),
+                device.labels, device.bound):
+            segments.append(ActivitySegment(
+                res_id=res_id, t0_ns=t0, t1_ns=t1,
+                label=ActivityLabel.decode(label),
+                bound_to=(ActivityLabel.decode(bound)
+                          if bound is not None else None),
+            ))
+        return segments
+
+    def grouped_inputs(
+        self,
+        energy_per_pulse_j: float,
+        min_interval_ns: int = 0,
+    ) -> tuple[list[tuple[tuple[int, int], ...]], list[int], list[float]]:
+        """Group intervals by state vector straight off the columns —
+        the regression's ``(E_j, t_j)`` inputs, bit-identical to
+        :func:`repro.core.regression.group_intervals` over the usable
+        materialized intervals (same first-occurrence group order, same
+        int time sums, same float energy fold)."""
+        time_by_state: dict[tuple[tuple[int, int], ...], int] = {}
+        energy_by_state: dict[tuple[tuple[int, int], ...], float] = {}
+        vectors = self.vectors
+        usable = 0
+        for t0, t1, p, v in zip(
+                self.interval_t0.tolist(), self.interval_t1.tolist(),
+                self.interval_pulses.tolist(), self.interval_vec.tolist()):
+            dt = t1 - t0
+            if dt < min_interval_ns:
+                continue
+            usable += 1
+            key = vectors[v]
+            time_by_state[key] = time_by_state.get(key, 0) + dt
+            energy_by_state[key] = (
+                energy_by_state.get(key, 0.0) + p * energy_per_pulse_j
+            )
+        if not usable:
+            raise RegressionError("no usable power intervals")
+        grouped = list(time_by_state)
+        return (
+            grouped,
+            [time_by_state[v] for v in grouped],
+            [energy_by_state[v] for v in grouped],
+        )
 
 
 class TimelineBuilder:

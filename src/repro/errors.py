@@ -46,6 +46,11 @@ class NetworkError(ReproError):
     """Raised by the radio channel / network substrate."""
 
 
+class AnalysisBackendError(ReproError):
+    """Raised when an unknown analysis backend is requested (via the
+    ``backend=`` argument, ``--backend``, or ``REPRO_ANALYSIS_BACKEND``)."""
+
+
 class ExperimentParameterError(ReproError):
     """Raised when an experiment override names an unknown parameter or
     carries a value that cannot be coerced to the parameter's type."""

@@ -55,6 +55,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+from repro.core.accounting import BACKEND_ENV_VAR, resolve_analysis_backend
 from repro.core.report import format_table
 from repro.errors import SweepError
 from repro.experiments.common import experiment_params, run_experiment
@@ -247,6 +248,7 @@ class SweepResult:
     comparisons: list[ComparisonStats] = field(default_factory=list)
     cache_dir: Optional[str] = None
     cache_hits: int = 0
+    backend: Optional[str] = None  # analysis backend, when explicitly set
 
     @property
     def seeds(self) -> list[int]:
@@ -284,6 +286,8 @@ class SweepResult:
             f"-- mode: {mode}; wall {self.wall_s:.2f} s "
             f"(serial estimate {self.serial_wall_s:.2f} s)",
         ]
+        if self.backend is not None:
+            header.append(f"-- analysis backend: {self.backend}")
         if self.cache_dir is not None:
             header.append(
                 f"-- cache: {self.cache_hits} reused, "
@@ -566,6 +570,7 @@ def run_sweep(
     jobs: int = 1,
     start_method: Optional[str] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    backend: Optional[str] = None,
 ) -> SweepResult:
     """Run a campaign and aggregate it, streaming.
 
@@ -577,7 +582,45 @@ def run_sweep(
     With ``cache_dir`` set, previously simulated points load from the
     digest-keyed cache and only the rest are dispatched; fresh results
     are stored back for the next campaign.
+
+    ``backend`` selects the analysis backend for every point: it is
+    exported as ``$REPRO_ANALYSIS_BACKEND`` for the duration of the
+    campaign (child processes inherit the parent environment under
+    every start method) and restored afterwards.  The channel is
+    process-global, so concurrent sweeps with *different* explicit
+    backends from threads of one process are unsupported — though by
+    the bit-identity contract their results could not differ anyway.
+    Per-point digests — and therefore cache keys — do not depend on the
+    backend; a cached sweep folds the same bytes whichever backend
+    produced them.
     """
+    if backend is not None:
+        backend = resolve_analysis_backend(backend)
+        previous_env = os.environ.get(BACKEND_ENV_VAR)
+        os.environ[BACKEND_ENV_VAR] = backend
+    try:
+        result = _run_sweep_inner(
+            exp_id, seeds, overrides, jobs=jobs,
+            start_method=start_method, cache_dir=cache_dir,
+        )
+    finally:
+        if backend is not None:
+            if previous_env is None:
+                del os.environ[BACKEND_ENV_VAR]
+            else:
+                os.environ[BACKEND_ENV_VAR] = previous_env
+    result.backend = backend
+    return result
+
+
+def _run_sweep_inner(
+    exp_id: str,
+    seeds: Iterable[int],
+    overrides: Optional[Mapping[str, Sequence[str]]] = None,
+    jobs: int = 1,
+    start_method: Optional[str] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> SweepResult:
     points = expand_grid(exp_id, seeds, overrides)
     start = time.perf_counter()
     cache = SweepCache(cache_dir) if cache_dir is not None else None

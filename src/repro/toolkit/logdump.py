@@ -5,12 +5,17 @@ and activity names — the first thing you reach for when a trace looks
 wrong.  The CSV exporters feed external tooling (spreadsheets, gnuplot,
 pandas) with both the raw event stream and the reconstructed
 constant-power intervals.
+
+The entry views consume any *iterable* of decoded entries and render
+incrementally: feed them :func:`repro.core.logger.iter_entries` and a
+large log dumps without every entry object (or every rendered line's
+source) being live at once — only the rendered text accumulates.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.labels import ActivityLabel, ActivityRegistry
 from repro.core.logger import (
@@ -29,7 +34,7 @@ _ACTIVITY_TYPES = (TYPE_ACT_CHANGE, TYPE_ACT_BIND, TYPE_ACT_ADD,
 
 
 def dump_log(
-    entries: list[LogEntry],
+    entries: Iterable[LogEntry],
     registry: Optional[ActivityRegistry] = None,
     component_names: Optional[dict[int, str]] = None,
     limit: Optional[int] = None,
@@ -38,10 +43,17 @@ def dump_log(
 
         [   12]     8000123 us  ic=  962301  powerstate  LED0 -> 1
         [   13]     8000225 us  ic=  962301  act_change  CPU  -> 1:Red
+
+    ``entries`` may be a list or a generator (e.g. ``iter_entries``);
+    past ``limit`` the remaining entries are counted, not materialized.
     """
     names = component_names or {}
     lines = []
-    for entry in entries[:limit] if limit else entries:
+    beyond = 0
+    for entry in entries:
+        if limit and len(lines) >= limit:
+            beyond += 1
+            continue
         resource = names.get(entry.res_id, f"res{entry.res_id}")
         if entry.type in _ACTIVITY_TYPES:
             label = ActivityLabel.decode(entry.value)
@@ -53,13 +65,13 @@ def dump_log(
             f"ic={entry.icount:>10}  {entry.type_name:<11} "
             f"{resource:<8} -> {value}"
         )
-    if limit and len(entries) > limit:
-        lines.append(f"... {len(entries) - limit} more entries")
+    if beyond:
+        lines.append(f"... {beyond} more entries")
     return "\n".join(lines)
 
 
 def export_log_csv(
-    entries: list[LogEntry],
+    entries: Iterable[LogEntry],
     registry: Optional[ActivityRegistry] = None,
     component_names: Optional[dict[int, str]] = None,
 ) -> str:

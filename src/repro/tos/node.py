@@ -33,7 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.core.accounting import EnergyMap, build_energy_map
+from repro.core.accounting import (
+    EnergyMap,
+    build_energy_map,
+    columnar_energy_map,
+    resolve_analysis_backend,
+)
 from repro.core.activity import (
     MultiActivityDevice,
     ProxyActivitySet,
@@ -53,8 +58,9 @@ from repro.core.regression import (
     RegressionResult,
     layout_from_tracker,
     solve_breakdown,
+    solve_grouped,
 )
-from repro.core.timeline import TimelineBuilder
+from repro.core.timeline import ColumnarTimeline, TimelineBuilder
 from repro.hw.platform import HydrowatchPlatform, PlatformConfig
 from repro.net.channel import RadioChannel
 from repro.sim.engine import Simulator
@@ -256,6 +262,10 @@ class QuantoNode:
 
         self._booted = False
         self._log_end_mark_ns = -1
+        # Memoized columnar reconstruction, keyed by (record count,
+        # end time): regression + accounting reuse one decode.
+        self._columnar_cache: Optional[tuple[int, int, ColumnarTimeline]] = \
+            None
 
     # -- boot ------------------------------------------------------------
 
@@ -334,6 +344,46 @@ class QuantoNode:
             multi_res_ids=[RES_TIMERB],
         )
 
+    @staticmethod
+    def _columnar_from_builder(timeline: TimelineBuilder) -> ColumnarTimeline:
+        """Columnar view of an explicitly captured batch timeline: built
+        from the builder's own entry list (not the live log), so a
+        timeline captured before the log grew analyzes exactly what the
+        streaming path would analyze for the same call."""
+        from repro.core.logger import LogColumns
+
+        return ColumnarTimeline(
+            LogColumns.from_entries(timeline.entries),
+            end_time_ns=timeline.end_time_ns,
+            single_res_ids=timeline.single_device_ids(),
+            multi_res_ids=timeline.multi_device_ids(),
+        )
+
+    def columnar_timeline(
+        self, end_time_ns: Optional[int] = None,
+        finalize: bool = True,
+    ) -> ColumnarTimeline:
+        """The columnar reconstruction of this node's log: one
+        ``np.frombuffer`` decode off the logger's raw bytes, intervals
+        and segments as column arrays, no per-entry objects.  Memoized
+        per (record count, end time) so the regression and the energy
+        map share one decode."""
+        if finalize and self._booted:
+            self.mark_log_end()
+        end = end_time_ns if end_time_ns is not None else self.sim.now
+        count = self.logger.records_written
+        cached = self._columnar_cache
+        if cached is not None and cached[0] == count and cached[1] == end:
+            return cached[2]
+        timeline = ColumnarTimeline(
+            self.logger.columns(),
+            end_time_ns=end,
+            single_res_ids=[d.res_id for d in self._single_devices()],
+            multi_res_ids=[RES_TIMERB],
+        )
+        self._columnar_cache = (count, end, timeline)
+        return timeline
+
     def layout(self):
         return layout_from_tracker(self.tracker)
 
@@ -342,8 +392,28 @@ class QuantoNode:
         timeline: Optional[TimelineBuilder] = None,
         weighting: str = "sqrt_et",
         strict: bool = False,
+        backend: Optional[str] = None,
     ) -> RegressionResult:
-        """Run the Section 2.5 breakdown on this node's log."""
+        """Run the Section 2.5 breakdown on this node's log.
+
+        With the columnar backend the grouped ``(E_j, t_j)`` inputs come
+        straight off the interval columns (no ``PowerInterval`` objects).
+        A passed ``timeline`` is honored as the snapshot to analyze —
+        its captured entries, not the live log — exactly like the
+        streaming path.
+        """
+        if resolve_analysis_backend(backend) == "columnar":
+            columnar = (self._columnar_from_builder(timeline)
+                        if timeline is not None
+                        else self.columnar_timeline())
+            return solve_grouped(
+                *columnar.grouped_inputs(
+                    self.platform.icount.nominal_energy_per_pulse_j),
+                self.layout(),
+                self.platform.rail.voltage,
+                weighting=weighting,
+                strict=strict,
+            )
         tl = timeline if timeline is not None else self.timeline()
         return solve_breakdown(
             tl.power_intervals(),
@@ -359,8 +429,31 @@ class QuantoNode:
         timeline: Optional[TimelineBuilder] = None,
         regression: Optional[RegressionResult] = None,
         fold_proxies: bool = False,
+        backend: Optional[str] = None,
     ) -> EnergyMap:
-        """The full 'where have the joules gone' answer for this node."""
+        """The full 'where have the joules gone' answer for this node.
+
+        ``backend`` (default: ``$REPRO_ANALYSIS_BACKEND``, else
+        streaming) picks the analysis implementation; both produce
+        bit-identical maps.
+        """
+        backend = resolve_analysis_backend(backend)
+        if backend == "columnar":
+            if timeline is not None:
+                # Analyze the captured snapshot, like the batch wrapper.
+                columnar = self._columnar_from_builder(timeline)
+                reg = regression if regression is not None \
+                    else self.regression(timeline, backend=backend)
+            else:
+                columnar = self.columnar_timeline()
+                reg = regression if regression is not None \
+                    else self.regression(backend=backend)
+            return columnar_energy_map(
+                columnar, reg, self.registry, COMPONENT_NAMES,
+                self.platform.icount.nominal_energy_per_pulse_j,
+                fold_proxies=fold_proxies,
+                idle_name=self.registry.name_of(self.idle),
+            )
         tl = timeline if timeline is not None else self.timeline()
         reg = regression if regression is not None else self.regression(tl)
         return build_energy_map(

@@ -1,0 +1,446 @@
+"""The columnar analysis backend: decode, cover, and attribution.
+
+Three layers of equivalence pin the backend down:
+
+* **Decode** — ``decode_columns`` (one ``np.frombuffer`` shot) must
+  agree field-for-field with the generator decoder, including 32-bit
+  time/iCount wrap-around, and ``QuantoLogger.columns()`` must produce
+  the same columns whether the packed-bytes cache is cold or warm.
+* **Cover** — on randomized logs, the ``searchsorted`` interval cover
+  must match the cursor-based streaming cover span-for-span (same
+  segments, same overlaps, same order), and the columnar interval /
+  segment reconstruction must equal the batch builder's objects.
+* **Attribution** — the full columnar energy map must be bit-identical
+  (float bits and dict insertion order) to the streaming accumulator on
+  randomized logs with randomized analysis windows — including windows
+  the log overshoots (the tail-replay path) — in both proxy-fold modes.
+
+The experiment-level contract (columnar ≡ streaming on every
+experiment) lives in the backend-parametrized ``test_golden_digests``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import (
+    _ragged_cover,
+    _scan_cover,
+    ANALYSIS_BACKENDS,
+    AnalysisBackendError,
+    columnar_energy_map,
+    resolve_analysis_backend,
+    stream_energy_map,
+)
+from repro.core.labels import ActivityRegistry
+from repro.core.logger import (
+    ENTRY_STRUCT,
+    LogColumns,
+    decode_columns,
+    decode_log,
+    iter_entries,
+)
+from repro.core.regression import (
+    RegressionResult,
+    SinkColumn,
+    group_intervals,
+    solve_grouped,
+)
+from repro.core.timeline import ColumnarTimeline, TimelineBuilder
+from repro.errors import RegressionError
+
+# Entry types, inlined for terse generator code.
+POWER, CHANGE, BIND, ADD, REMOVE, BOOT = 1, 2, 3, 4, 5, 6
+
+SINGLE_IDS = (0, 1)
+POWER_ONLY_ID = 2  # has power states but no activity instrumentation
+MULTI_ID = 9
+LABELS = (0x0101, 0x0102, 0x0103, 0x01C8)  # third one binds onto others
+
+
+def _random_log(rng, n_entries=300, time_base_us=0):
+    """A synthetic but semantically valid log: monotone times, monotone
+    iCount, boots first, then a random mix of power toggles, activity
+    changes/binds, and multi add/removes — with same-time bursts and
+    immediate re-paints so zero-length segments and merged interval
+    boundaries occur."""
+    rows = []
+    t = time_base_us
+    ic = rng.randrange(1000)
+    for rid in (*SINGLE_IDS, POWER_ONLY_ID):
+        rows.append((BOOT, rid, t, ic, 0))
+    for _ in range(n_entries):
+        if rng.random() < 0.7:  # bursts: several entries at one time
+            t += rng.randrange(1, 4000)
+        ic += rng.randrange(0, 50)
+        kind = rng.random()
+        if kind < 0.45:
+            rows.append((POWER, rng.choice((*SINGLE_IDS, POWER_ONLY_ID)),
+                         t, ic, rng.randrange(2)))
+        elif kind < 0.75:
+            rows.append((CHANGE, rng.choice(SINGLE_IDS), t, ic,
+                         rng.choice(LABELS)))
+        elif kind < 0.85:
+            rows.append((BIND, rng.choice(SINGLE_IDS), t, ic,
+                         rng.choice(LABELS)))
+        elif kind < 0.95:
+            rows.append((ADD, MULTI_ID, t, ic, rng.choice(LABELS)))
+        else:
+            rows.append((REMOVE, MULTI_ID, t, ic, rng.choice(LABELS)))
+    raw = b"".join(
+        ENTRY_STRUCT.pack(entry_type, rid, time_us & 0xFFFFFFFF,
+                          pulses & 0xFFFFFFFF, value)
+        for entry_type, rid, time_us, pulses, value in rows
+    )
+    return raw, t
+
+
+def _regression_for_test():
+    columns = [
+        SinkColumn(res_id=rid, value=1, name=f"sink{rid}")
+        for rid in (*SINGLE_IDS, POWER_ONLY_ID)
+    ]
+    return RegressionResult(
+        columns=columns,
+        power_w={c.name: 0.003 * (c.res_id + 1) for c in columns},
+        const_power_w=0.0011,
+        voltage=3.0,
+        y=np.zeros(1), y_hat=np.zeros(1), weights=np.ones(1),
+        group_states=[], group_time_ns=[], group_energy_j=[],
+    )
+
+
+def _maps_equal(reference, candidate):
+    assert list(reference.energy_j) == list(candidate.energy_j)
+    assert reference.energy_j == candidate.energy_j
+    assert list(reference.time_ns) == list(candidate.time_ns)
+    assert reference.time_ns == candidate.time_ns
+    assert reference.metered_energy_j == candidate.metered_energy_j
+    assert reference.reconstructed_energy_j \
+        == candidate.reconstructed_energy_j
+    assert reference.span_ns == candidate.span_ns
+
+
+# -- decode -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("time_base_us", [0, (1 << 32) - 2_000])
+def test_decode_columns_matches_iter_entries(time_base_us):
+    """Field-for-field decode equivalence, including u32 wrap-around
+    (the second base starts just below the 32-bit boundary, so times
+    and iCounts wrap mid-log)."""
+    rng = random.Random(7)
+    raw, _end = _random_log(rng, time_base_us=time_base_us)
+    entries = decode_log(raw)
+    columns = decode_columns(raw)
+    assert len(columns) == len(entries)
+    assert columns.type.tolist() == [e.type for e in entries]
+    assert columns.res_id.tolist() == [e.res_id for e in entries]
+    assert columns.time_ns.tolist() == [e.time_ns for e in entries]
+    assert columns.icount.tolist() == [e.icount for e in entries]
+    assert columns.value.tolist() == [e.value for e in entries]
+
+
+def test_logger_columns_cold_and_warm():
+    """``QuantoLogger.columns()`` must agree with decoding the packed
+    bytes, both before the pack cache exists (raw-tuple ring path) and
+    after (frombuffer path)."""
+    from repro.experiments.common import run_blink
+    from repro.units import seconds
+
+    node, _app, _sim = run_blink(seed=0, duration_ns=seconds(2))
+    cold = node.logger.columns()  # no raw_bytes() call yet: ring path
+    raw = node.logger.raw_bytes()
+    warm = node.logger.columns()  # packed cache now warm
+    reference = decode_columns(raw)
+    for candidate in (cold, warm):
+        assert candidate.time_ns.tolist() == reference.time_ns.tolist()
+        assert candidate.icount.tolist() == reference.icount.tolist()
+        assert candidate.type.tolist() == reference.type.tolist()
+        assert candidate.res_id.tolist() == reference.res_id.tolist()
+        assert candidate.value.tolist() == reference.value.tolist()
+
+
+def test_log_columns_from_entries_roundtrip():
+    rng = random.Random(3)
+    raw, _end = _random_log(rng, n_entries=50)
+    entries = decode_log(raw)
+    columns = LogColumns.from_entries(entries)
+    reference = decode_columns(raw)
+    assert columns.time_ns.tolist() == reference.time_ns.tolist()
+    assert columns.icount.tolist() == reference.icount.tolist()
+
+
+# -- reconstruction ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_columnar_reconstruction_matches_builder(seed):
+    """Intervals (times, pulses, state vectors) and per-device segments
+    (spans, labels, bind resolution) equal the batch builder's."""
+    rng = random.Random(seed)
+    raw, end_us = _random_log(rng)
+    entries = decode_log(raw)
+    builder = TimelineBuilder(
+        entries, end_time_ns=end_us * 1000,
+        single_res_ids=SINGLE_IDS, multi_res_ids=[MULTI_ID])
+    columnar = ColumnarTimeline(
+        decode_columns(raw), end_time_ns=end_us * 1000,
+        single_res_ids=SINGLE_IDS, multi_res_ids=[MULTI_ID])
+    assert columnar.power_intervals() == builder.power_intervals()
+    for rid in SINGLE_IDS:
+        assert columnar.activity_segments(rid) \
+            == builder.activity_segments(rid)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_ragged_cover_matches_cursor_cover(seed):
+    """The searchsorted cover must yield the cursor-based cover's spans
+    exactly: same segments, same overlaps, same order, per interval."""
+    rng = random.Random(100 + seed)
+    raw, end_us = _random_log(rng)
+    entries = decode_log(raw)
+    builder = TimelineBuilder(
+        entries, end_time_ns=end_us * 1000,
+        single_res_ids=SINGLE_IDS, multi_res_ids=[MULTI_ID])
+    columnar = ColumnarTimeline(
+        decode_columns(raw), end_time_ns=end_us * 1000,
+        single_res_ids=SINGLE_IDS, multi_res_ids=[MULTI_ID])
+    intervals = builder.power_intervals()
+    window_t0 = np.array([iv.t0_ns for iv in intervals], dtype=np.int64)
+    window_t1 = np.array([iv.t1_ns for iv in intervals], dtype=np.int64)
+    for rid in SINGLE_IDS:
+        segments = builder.activity_segments(rid)
+        device = columnar.single_columns(rid)
+        offsets, seg_rows, overlaps = _ragged_cover(
+            window_t0, window_t1, device.t0, device.t1)
+        cursor = 0
+        for index, interval in enumerate(intervals):
+            expected, _covered, cursor = _scan_cover(
+                segments, cursor, interval.t0_ns, interval.t1_ns)
+            got = [
+                (int(device.t0[j]), int(device.t1[j]), int(overlaps[k]))
+                for k, j in enumerate(
+                    seg_rows[offsets[index]:offsets[index + 1]].tolist(),
+                    start=int(offsets[index]))
+            ]
+            assert got == [
+                (segment.t0_ns, segment.t1_ns, overlap)
+                for segment, overlap in expected
+            ], f"res {rid}, interval {index}"
+
+
+# -- attribution ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("fold", [False, True])
+def test_randomized_maps_bit_identical(seed, fold):
+    """Streaming and columnar maps are bit-identical on random logs with
+    random analysis windows — including windows shorter than the log
+    (records overshoot: the accumulator's tail-replay path) and longer
+    (trailing idle)."""
+    rng = random.Random(1000 + seed)
+    raw, end_us = _random_log(rng)
+    regression = _regression_for_test()
+    registry = ActivityRegistry()
+    names = {0: "CPU", 1: "Radio", 2: "Flash", 9: "TimerB"}
+    # Window: before, at, or past the last record.
+    end_time_ns = rng.choice((
+        end_us * 1000, (end_us - 500) * 1000, (end_us + 5_000) * 1000))
+    kwargs = dict(
+        fold_proxies=fold, idle_name="Idle", end_time_ns=end_time_ns,
+        single_res_ids=SINGLE_IDS, multi_res_ids=[MULTI_ID],
+    )
+    reference = stream_energy_map(
+        iter_entries(raw), regression, registry, names, 1e-6, **kwargs)
+    candidate = columnar_energy_map(
+        raw, regression, registry, names, 1e-6, **kwargs)
+    _maps_equal(reference, candidate)
+
+
+def test_grouped_inputs_match_group_intervals():
+    rng = random.Random(42)
+    raw, end_us = _random_log(rng)
+    columnar = ColumnarTimeline(
+        decode_columns(raw), end_time_ns=end_us * 1000,
+        single_res_ids=SINGLE_IDS, multi_res_ids=[MULTI_ID])
+    reference = group_intervals(columnar.power_intervals(), 1e-6)
+    assert columnar.grouped_inputs(1e-6) == reference
+    # The min-interval filter applies before grouping, like
+    # solve_breakdown's usable filter.
+    long_only = [iv for iv in columnar.power_intervals()
+                 if iv.dt_ns >= 1_000_000]
+    assert columnar.grouped_inputs(1e-6, min_interval_ns=1_000_000) \
+        == group_intervals(long_only, 1e-6)
+    with pytest.raises(RegressionError):
+        columnar.grouped_inputs(1e-6, min_interval_ns=10**15)
+
+
+def test_node_backend_api_is_bit_identical():
+    """The node-level entry points (regression + energy map) agree
+    across backends, and the columnar regression is the same solved
+    object contents as the interval-fed one."""
+    from repro.experiments.common import run_blink
+    from repro.units import seconds
+
+    node, _app, _sim = run_blink(seed=5, duration_ns=seconds(4))
+    reference_map = node.energy_map(backend="streaming")
+    columnar_map = node.energy_map(backend="columnar")
+    _maps_equal(reference_map, columnar_map)
+    reference = node.regression(backend="streaming")
+    candidate = node.regression(backend="columnar")
+    assert reference.power_w == candidate.power_w
+    assert reference.const_power_w == candidate.const_power_w
+    assert reference.group_states == candidate.group_states
+    assert reference.group_time_ns == candidate.group_time_ns
+    assert reference.group_energy_j == candidate.group_energy_j
+    assert (reference.y == candidate.y).all()
+    assert (reference.y_hat == candidate.y_hat).all()
+    # Fold mode through the node API too.
+    _maps_equal(node.energy_map(fold_proxies=True, backend="streaming"),
+                node.energy_map(fold_proxies=True, backend="columnar"))
+
+
+def test_solve_grouped_equals_solve_breakdown():
+    from repro.experiments.common import run_blink
+    from repro.units import seconds
+
+    node, _app, _sim = run_blink(seed=2, duration_ns=seconds(4))
+    timeline = node.timeline()
+    reference = node.regression(timeline)
+    vectors, times_ns, energies = group_intervals(
+        timeline.power_intervals(),
+        node.platform.icount.nominal_energy_per_pulse_j)
+    candidate = solve_grouped(
+        vectors, times_ns, energies, node.layout(),
+        node.platform.rail.voltage)
+    assert reference.power_w == candidate.power_w
+    assert reference.const_power_w == candidate.const_power_w
+
+
+def test_device_turning_multi_mid_log_matches_streaming():
+    """A device with change/bind records *and* later add/remove records:
+    the streaming feed drops change entries once the res_id is known
+    multi, and the columnar backend must reproduce that — including the
+    segment split and the add_time breakdown."""
+    rid = 5
+    rows = [
+        (BOOT, rid, 50, 0, 0),
+        (POWER, rid, 80, 1, 1),
+        (CHANGE, rid, 100, 2, 0x0111),
+        (ADD, rid, 200, 3, 0x0122),
+        (CHANGE, rid, 300, 5, 0x0133),  # dropped by the stream: multi now
+        (POWER, rid, 400, 9, 0),
+    ]
+    raw = b"".join(ENTRY_STRUCT.pack(*row) for row in rows)
+    regression = RegressionResult(
+        columns=[SinkColumn(res_id=rid, value=1, name="dev")],
+        power_w={"dev": 0.004}, const_power_w=0.001, voltage=3.0,
+        y=np.zeros(1), y_hat=np.zeros(1), weights=np.ones(1),
+        group_states=[], group_time_ns=[], group_energy_j=[],
+    )
+    registry = ActivityRegistry()
+    for fold in (False, True):
+        kwargs = dict(fold_proxies=fold, idle_name="Idle",
+                      end_time_ns=400_000)
+        reference = stream_energy_map(
+            iter_entries(raw), regression, registry, {rid: "Dev"}, 1e-6,
+            **kwargs)
+        candidate = columnar_energy_map(
+            raw, regression, registry, {rid: "Dev"}, 1e-6, **kwargs)
+        _maps_equal(reference, candidate)
+    # Declared both single and multi: the stream keeps an (unfed) single
+    # tracker, so covers resolve as single-with-no-segments — all idle.
+    kwargs = dict(fold_proxies=False, idle_name="Idle", end_time_ns=400_000,
+                  single_res_ids=[rid], multi_res_ids=[rid])
+    reference = stream_energy_map(
+        iter_entries(raw), regression, registry, {rid: "Dev"}, 1e-6,
+        **kwargs)
+    candidate = columnar_energy_map(
+        raw, regression, registry, {rid: "Dev"}, 1e-6, **kwargs)
+    _maps_equal(reference, candidate)
+
+
+def test_stale_timeline_snapshot_matches_streaming():
+    """A timeline captured before the log grows must analyze its
+    captured entries on both backends — not the live log."""
+    from repro.experiments.common import run_blink
+    from repro.units import seconds
+
+    node, _app, sim = run_blink(seed=4, duration_ns=seconds(2))
+    stale = node.timeline()
+    sim.run(until=sim.now + seconds(2))  # the log keeps growing
+    reference = node.energy_map(stale, backend="streaming")
+    candidate = node.energy_map(stale, backend="columnar")
+    _maps_equal(reference, candidate)
+    ref_reg = node.regression(stale, backend="streaming")
+    cand_reg = node.regression(stale, backend="columnar")
+    assert ref_reg.power_w == cand_reg.power_w
+    assert ref_reg.group_time_ns == cand_reg.group_time_ns
+    assert ref_reg.group_energy_j == cand_reg.group_energy_j
+
+
+# -- selection --------------------------------------------------------------
+
+
+def test_backend_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_ANALYSIS_BACKEND", raising=False)
+    assert resolve_analysis_backend() == "streaming"
+    assert resolve_analysis_backend("columnar") == "columnar"
+    monkeypatch.setenv("REPRO_ANALYSIS_BACKEND", "columnar")
+    assert resolve_analysis_backend() == "columnar"
+    assert resolve_analysis_backend("streaming") == "streaming"
+    with pytest.raises(AnalysisBackendError):
+        resolve_analysis_backend("vectorized")
+    monkeypatch.setenv("REPRO_ANALYSIS_BACKEND", "bogus")
+    with pytest.raises(AnalysisBackendError):
+        resolve_analysis_backend()
+    assert set(ANALYSIS_BACKENDS) == {"streaming", "columnar"}
+
+
+def test_sweep_backend_digests_match(tmp_path):
+    """A sweep run under the columnar backend reports byte-identical
+    per-point digests (the backend cannot leak into results), and the
+    environment variable is restored afterwards."""
+    import os
+
+    from repro.sim.sweep import run_sweep
+
+    overrides = {"duration_ns": ["2000000000"]}
+    ambient = os.environ.get("REPRO_ANALYSIS_BACKEND")
+    reference = run_sweep("table3", [0, 1], overrides)
+    candidate = run_sweep("table3", [0, 1], overrides, backend="columnar")
+    # The explicit backend is exported only for the sweep's duration;
+    # whatever was set before (e.g. a CI matrix leg) is restored.
+    assert os.environ.get("REPRO_ANALYSIS_BACKEND") == ambient
+    assert reference.digest() == candidate.digest()
+    assert candidate.backend == "columnar"
+    assert "analysis backend: columnar" in candidate.render()
+
+
+def test_columnar_errors_match_streaming():
+    registry = ActivityRegistry()
+    with pytest.raises(RegressionError, match="no power intervals"):
+        columnar_energy_map(b"", _regression_for_test(), registry, {}, 1e-6)
+    raw, _end = _random_log(random.Random(0), n_entries=20)
+    with pytest.raises(RegressionError, match="needs a regression"):
+        columnar_energy_map(raw, None, registry, {}, 1e-6)
+
+
+# -- logdump iterables ------------------------------------------------------
+
+
+def test_dump_log_accepts_generator():
+    """dump_log consumes generators (no materialized entry list) and
+    renders the same text as the list path, counting past the limit."""
+    from repro.toolkit.logdump import dump_log, export_log_csv
+
+    raw, _end = _random_log(random.Random(9), n_entries=40)
+    entries = decode_log(raw)
+    assert dump_log(iter_entries(raw)) == dump_log(entries)
+    assert dump_log(iter_entries(raw), limit=10) \
+        == dump_log(entries, limit=10)
+    assert dump_log(iter_entries(raw), limit=10).endswith("more entries")
+    assert export_log_csv(iter_entries(raw)) == export_log_csv(entries)

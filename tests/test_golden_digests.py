@@ -31,6 +31,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.accounting import ANALYSIS_BACKENDS, BACKEND_ENV_VAR
 from repro.experiments.common import EXPERIMENT_IDS, run_experiment
 
 GOLDEN_PATH = Path(__file__).parent / "golden_digests.json"
@@ -41,11 +42,18 @@ def test_golden_file_covers_every_experiment():
     assert sorted(GOLDEN) == sorted(EXPERIMENT_IDS)
 
 
+@pytest.mark.parametrize("backend", ANALYSIS_BACKENDS)
 @pytest.mark.parametrize("exp_id", EXPERIMENT_IDS)
-def test_experiment_digest_matches_golden(exp_id):
+def test_experiment_digest_matches_golden(exp_id, backend, monkeypatch):
+    """Every experiment, on every analysis backend, must reproduce the
+    pre-optimization digest — one golden value per experiment, shared by
+    all backends, is the whole determinism contract: columnar ≡
+    streaming, float bits and dict order, on every experiment."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, backend)
     rendered = run_experiment(exp_id, seed=0).render()
     digest = hashlib.sha256(rendered.encode("utf-8")).hexdigest()
     assert digest == GOLDEN[exp_id], (
-        f"{exp_id}: rendered output diverged from the pre-optimization "
-        f"reference (got {digest[:16]}, want {GOLDEN[exp_id][:16]})"
+        f"{exp_id} [{backend}]: rendered output diverged from the "
+        f"pre-optimization reference "
+        f"(got {digest[:16]}, want {GOLDEN[exp_id][:16]})"
     )

@@ -43,7 +43,15 @@ def _maps_equal(batch, stream):
     assert batch.span_ns == stream.span_ns
 
 
-def _stream_map_for(node, timeline, regression, fold_proxies):
+#: Every analysis backend must reproduce the batch reference exactly;
+#: the tests below are parametrized over all of them ("streaming" feeds
+#: the accumulator, "columnar" routes the same inputs through the
+#: column pipeline).
+from repro.core.accounting import ANALYSIS_BACKENDS as BACKENDS
+
+
+def _stream_map_for(node, timeline, regression, fold_proxies,
+                    backend="streaming"):
     return stream_energy_map(
         iter_entries(node.logger.raw_bytes()),
         regression,
@@ -55,10 +63,11 @@ def _stream_map_for(node, timeline, regression, fold_proxies):
         end_time_ns=timeline.end_time_ns,
         single_res_ids=[d.res_id for d in node._single_devices()],
         multi_res_ids=[RES_TIMERB],
+        backend=backend,
     )
 
 
-def _assert_node_streams_identically(node):
+def _assert_node_streams_identically(node, backend="streaming"):
     timeline = node.timeline()
     regression = node.regression(timeline)
     for fold in (False, True):
@@ -67,17 +76,21 @@ def _assert_node_streams_identically(node):
             node.platform.icount.nominal_energy_per_pulse_j,
             fold_proxies=fold,
             idle_name=node.registry.name_of(node.idle),
+            backend="streaming",
         )
-        stream = _stream_map_for(node, timeline, regression, fold)
+        stream = _stream_map_for(node, timeline, regression, fold,
+                                 backend=backend)
         _maps_equal(batch, stream)
 
 
-def test_blink_streams_identically():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_blink_streams_identically(backend):
     node, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
-    _assert_node_streams_identically(node)
+    _assert_node_streams_identically(node, backend)
 
 
-def test_bounce_network_streams_identically():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bounce_network_streams_identically(backend):
     """Cross-node Bounce exercises proxies, binds, and remote labels —
     the retrospective part of the fold path."""
     from repro.apps.bounce import BounceApp
@@ -90,10 +103,11 @@ def test_bounce_network_streams_identically():
     network.boot_all({1: app1.start, 4: app4.start})
     network.run(seconds(3))
     for node_id in (1, 4):
-        _assert_node_streams_identically(network.node(node_id))
+        _assert_node_streams_identically(network.node(node_id), backend)
 
 
-def test_collection_network_streams_identically():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_collection_network_streams_identically(backend):
     """Multihop collection: forwarding queues, multi-activity timers."""
     from repro.apps.collection import build_line_topology
 
@@ -105,7 +119,7 @@ def test_collection_network_streams_identically():
     network.boot_all({nid: app.start for nid, app in apps.items()})
     network.run(seconds(10))
     for node_id in (10, 11, 12):
-        _assert_node_streams_identically(network.node(node_id))
+        _assert_node_streams_identically(network.node(node_id), backend)
 
 
 def test_timeline_stream_matches_builder_on_blink():
