@@ -15,6 +15,9 @@ have a machine-readable baseline:
 * ``sweep_points_per_sec_serial`` — end-to-end table3 points per second
   on the 64-point reference grid (the number the regression gate
   watches);
+* ``sweep_points_per_sec_cached`` — the same grid folded entirely from
+  a warm packed shard store (cache-hit throughput; the marginal cost of
+  a fully cached campaign, also gated);
 * ``parallel_speedup_jobs2`` — wall-clock speedup of the same grid at
   ``--jobs 2`` (only meaningful with >= 2 cores; the JSON records
   ``cpu_count`` so a single-core box is not read as a regression).
@@ -177,6 +180,27 @@ def bench_sweep_grid() -> tuple[float, float, str]:
     return len(serial.points) / serial.wall_s, speedup, serial.digest()
 
 
+def bench_cached_sweep(reference_digest: str) -> float:
+    """Cache-hit points/sec: the 64-point grid folded from a warm packed
+    shard store (one populating run, then a fully cached rerun).  The
+    cached fold must reproduce the fresh run's sweep digest exactly —
+    that identity is asserted before the number is reported."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as root:
+        populate = run_sweep("table3", SWEEP_SEEDS, SWEEP_OVERRIDES,
+                             jobs=1, cache_dir=root)
+        assert populate.digest() == reference_digest, \
+            "populating run diverged from the uncached reference"
+        cached = run_sweep("table3", SWEEP_SEEDS, SWEEP_OVERRIDES,
+                           jobs=1, cache_dir=root)
+        assert cached.cache_hits == len(cached.points), \
+            "cached rerun re-simulated points — cache keys unstable"
+        assert cached.digest() == reference_digest, \
+            "cached fold diverged from the fresh sweep"
+        return len(cached.points) / cached.wall_s
+
+
 def run_benchmarks() -> dict:
     events_median, events_spread = _median_spread(
         [bench_engine_events() for _ in range(REPEATS)])
@@ -193,12 +217,16 @@ def run_benchmarks() -> dict:
         digest = run_digest
     points_median, points_spread = _median_spread(points_samples)
     speedup_median, speedup_spread = _median_spread(speedup_samples)
+    cached_median, cached_spread = _median_spread(
+        [bench_cached_sweep(digest) for _ in range(REPEATS)])
     numbers = {
         "timing": f"median of {REPEATS}",
         "engine_events_per_sec": round(events_median),
         "engine_events_per_sec_spread": round(events_spread, 3),
         "sweep_points_per_sec_serial": round(points_median, 2),
         "sweep_points_per_sec_serial_spread": round(points_spread, 3),
+        "sweep_points_per_sec_cached": round(cached_median, 2),
+        "sweep_points_per_sec_cached_spread": round(cached_spread, 3),
         "sweep_grid_points": len(list(SWEEP_SEEDS)),
         "parallel_speedup_jobs2": round(speedup_median, 3),
         "parallel_speedup_jobs2_spread": round(speedup_spread, 3),
@@ -228,6 +256,16 @@ def check_against_baseline(numbers: dict) -> list[str]:
             f"< {floor:.2f} (baseline "
             f"{baseline['sweep_points_per_sec_serial']:.2f} - {tolerance:.0%})"
         )
+    if "sweep_points_per_sec_cached" in baseline:
+        floor = baseline["sweep_points_per_sec_cached"] * (1.0 - tolerance)
+        measured = numbers["sweep_points_per_sec_cached"]
+        if measured < floor:
+            failures.append(
+                f"cache-hit fold throughput regressed: {measured:.2f} "
+                f"points/s < {floor:.2f} (baseline "
+                f"{baseline['sweep_points_per_sec_cached']:.2f} - "
+                f"{tolerance:.0%})"
+            )
     baseline_analysis = baseline.get("analysis_entries_per_sec", {})
     if "columnar" in baseline_analysis:
         floor = baseline_analysis["columnar"] * (1.0 - tolerance)

@@ -6,11 +6,16 @@ Commands:
 * ``experiment <id> [--seed N] [--set k=v ...]`` — run one experiment
   (e.g. ``table3``, ``fig13``, ``ext_deployment``) and print its rendered
   result;
-* ``sweep <id> [--seeds N] [--jobs J] [--set k=v1,v2 ...] [--cache-dir D]``
-  — run an experiment campaign over many seeds (and optionally a
-  parameter grid) on a worker pool, folding results into streaming
-  aggregates; with a cache directory, already-simulated points are
-  reused and only new grid points run;
+* ``sweep <id> [--seeds N] [--jobs J] [--set k=v1,v2 ...] [--cache-dir D]
+  [--shard i/N]`` — run an experiment campaign over many seeds (and
+  optionally a parameter grid) on a worker pool, folding results into
+  streaming aggregates; with a cache directory, already-simulated points
+  are reused and only new grid points run; with ``--shard i/N``, run
+  only the i-th deterministic slice of the grid (one machine of an
+  N-machine campaign);
+* ``merge-sweeps <id> --cache-dir A [--cache-dir B ...]`` — fold shard
+  runs' cached stores back into the full campaign result, byte-identical
+  to an unsharded run over the same grid;
 * ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
   full energy map (optionally the raw log dump);
 * ``validate [--seed N]`` — run Blink and lint its log.
@@ -76,7 +81,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import os
 
-    from repro.sim.sweep import run_sweep
+    from repro.sim.sweep import parse_shard, run_sweep
 
     if args.id not in EXPERIMENT_IDS:
         print(f"unknown experiment {args.id!r}; try: python -m repro list",
@@ -88,6 +93,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs < 0:
         print("--jobs must be 0 (auto) or a worker count", file=sys.stderr)
         return 2
+    shard = parse_shard(args.shard) if args.shard else None
     overrides = _parse_set_args(args.set, multi_valued=True)
     seeds = range(args.seed_base, args.seed_base + args.seeds)
     cache_dir = args.cache_dir
@@ -96,7 +102,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.no_cache:
         cache_dir = None
     result = run_sweep(args.id, seeds, overrides, jobs=args.jobs,
-                       cache_dir=cache_dir, backend=args.backend)
+                       cache_dir=cache_dir, backend=args.backend,
+                       shard=shard)
+    print(result.render())
+    return 0
+
+
+def _cmd_merge_sweeps(args: argparse.Namespace) -> int:
+    from repro.sim.sweep import merge_sweeps
+
+    if args.id not in EXPERIMENT_IDS:
+        print(f"unknown experiment {args.id!r}; try: python -m repro list",
+              file=sys.stderr)
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be at least 1", file=sys.stderr)
+        return 2
+    overrides = _parse_set_args(args.set, multi_valued=True)
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    result = merge_sweeps(args.id, seeds, overrides,
+                          cache_dirs=args.cache_dir, jobs=args.jobs,
+                          strict=args.strict, backend=args.backend)
     print(result.render())
     return 0
 
@@ -204,7 +230,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="disable the result cache even if "
                               "REPRO_SWEEP_CACHE is set")
+    p_sweep.add_argument("--shard", metavar="i/N", default=None,
+                         help="run only shard i of an N-way deterministic "
+                              "grid partition (0-based; machine i of an "
+                              "N-machine campaign — merge the cache dirs "
+                              "afterwards with merge-sweeps)")
     p_sweep.add_argument("--backend", **backend_kwargs)
+
+    p_merge = sub.add_parser(
+        "merge-sweeps",
+        help="fold sharded sweep caches into the full campaign result")
+    p_merge.add_argument("id")
+    p_merge.add_argument("--seeds", type=int, default=8,
+                         help="number of seeds of the campaign grid")
+    p_merge.add_argument("--seed-base", type=int, default=0)
+    p_merge.add_argument("--set", action="append", metavar="KEY=V1[,V2...]",
+                         help="the campaign's parameter grid (must match "
+                              "what the shard runs used)")
+    p_merge.add_argument("--cache-dir", metavar="DIR", action="append",
+                         required=True,
+                         help="a shard run's cache directory (repeatable; "
+                              "points load from the first dir that has "
+                              "them)")
+    p_merge.add_argument("--jobs", type=int, default=1,
+                         help="workers for simulating uncovered points "
+                              "(non-strict mode only)")
+    p_merge.add_argument("--strict", action="store_true",
+                         help="fail if any grid point is missing from the "
+                              "shard stores instead of simulating it")
+    p_merge.add_argument("--backend", **backend_kwargs)
 
     p_blink = sub.add_parser("blink", help="run Blink and print the map")
     p_blink.add_argument("--seconds", type=int, default=48)
@@ -226,6 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "list": _cmd_list,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
+        "merge-sweeps": _cmd_merge_sweeps,
         "blink": _cmd_blink,
         "validate": _cmd_validate,
     }

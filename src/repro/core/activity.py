@@ -71,6 +71,14 @@ class SingleActivityDevice:
         for tracker in self._trackers:
             tracker(self, new, True)
 
+    def reset(self, initial: ActivityLabel) -> None:
+        """Warm-start reset: repaint to the initial label and zero the
+        tallies without notifying trackers (the boot snapshot re-records
+        the starting activities)."""
+        self._current = initial
+        self.change_count = 0
+        self.bind_count = 0
+
 
 class MultiActivityDevice:
     """A component that can serve several activities concurrently."""
@@ -115,6 +123,11 @@ class MultiActivityDevice:
         """Remove every activity (device going idle)."""
         for label in list(self._current):
             self.remove(label)
+
+    def reset(self) -> None:
+        """Warm-start reset: empty set, zero tally, no notifications."""
+        self._current.clear()
+        self.change_count = 0
 
 
 class ProxyActivitySet:

@@ -65,6 +65,15 @@ class CounterAccountant:
         self._mark_time_ns = sim.now
         self._mark_pulses = icount.read()
 
+    def reset(self) -> None:
+        """Warm-start reset: empty slot table, marks re-taken at the
+        (reset) simulator's t=0 and the meter's rewound count."""
+        self._slots.clear()
+        self._overflow = ActivityCounters(ActivityLabel(0, 0xFF))
+        self._current = None
+        self._mark_time_ns = self.sim.now
+        self._mark_pulses = self.icount.read()
+
     def _now(self) -> int:
         """The accounting clock: virtual (cycle-advanced) time when a CPU
         is attached, so activity switches inside one job still accrue the

@@ -153,8 +153,17 @@ class ActivityRegistry:
         return aid
 
     def label(self, origin: int, name: str) -> ActivityLabel:
-        """Look up (registering if needed) a label by name."""
-        return ActivityLabel(origin=origin, aid=self.register(name))
+        """Look up (registering if needed) a label by name.
+
+        Returns the *interned* instance for the encoding (the decode
+        cache), so repeated lookups of one activity hand back one
+        object — the device trackers' identity fast path then skips the
+        field-compare on every idempotent repaint.
+        """
+        aid = self.register(name)
+        if not 0 <= origin <= 0xFF:
+            raise ActivityError(f"origin {origin} does not fit in 8 bits")
+        return ActivityLabel.decode((origin << 8) | aid)
 
     def name_of(self, label: ActivityLabel) -> str:
         """Render a label like the paper's figures: ``origin:Name``."""
@@ -167,3 +176,20 @@ class ActivityRegistry:
 
     def known_ids(self) -> dict[int, str]:
         return dict(self._names)
+
+    # -- warm-start snapshot/restore --------------------------------------
+
+    def snapshot_state(self) -> tuple[dict[int, str], int]:
+        """Capture the registration state (for the warm-start protocol:
+        a node snapshots its registry right after construction)."""
+        return dict(self._names), self._next_id
+
+    def restore_state(self, state: tuple[dict[int, str], int]) -> None:
+        """Drop registrations made since :meth:`snapshot_state`, so a
+        reset run re-registers application activities from the same id
+        space the cold run saw (same names → same ids)."""
+        names, next_id = state
+        self._names = dict(names)
+        self._by_name = {name: aid for aid, name in self._names.items()}
+        self._next_id = next_id
+        self._rendered.clear()

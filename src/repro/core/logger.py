@@ -181,6 +181,32 @@ class QuantoLogger:
         self._packed_count = -1
         self._append = self._buffer.append
         self._read_icount = icount.read
+        # Per-record constants, hoisted off the synchronous path: the
+        # mode test and the MCU's cycle length never change after
+        # construction.
+        self._drain_mode = mode == "drain"
+        self._cycle_ns = mcu.cycle_ns
+        self.enabled = True
+        self.stopped_on_overflow = False
+        self.records_written = 0
+        self.records_dropped = 0
+        self.drain_task_runs = 0
+        self._drain_scheduled = False
+        self._dumping = False
+        self.dumps_completed = 0
+        self.dump_cycles_total = 0
+
+    # -- warm-start reset --------------------------------------------------
+
+    def reset(self) -> None:
+        """Empty the log and rewind every counter to the post-construction
+        state.  The ring and shipped lists are cleared *in place* so the
+        bound-method caches (``_append``) stay valid; wiring (mcu, meter,
+        scheduler, activity hooks) survives."""
+        self._buffer.clear()
+        self._dumped.clear()
+        self._packed_cache = None
+        self._packed_count = -1
         self.enabled = True
         self.stopped_on_overflow = False
         self.records_written = 0
@@ -213,7 +239,7 @@ class QuantoLogger:
             raise HardwareError("Mcu.consume() called outside a job")
         pending = mcu._pending_cycles + COST_TOTAL
         mcu._pending_cycles = pending
-        virtual_ns = mcu._job_start_ns + pending * mcu.cycle_ns
+        virtual_ns = mcu._job_start_ns + pending * self._cycle_ns
         time_us = (virtual_ns // 1000) & 0xFFFFFFFF
         pulses = self._read_icount(virtual_ns) & 0xFFFFFFFF
         if len(self._buffer) >= self.buffer_entries:
@@ -235,7 +261,7 @@ class QuantoLogger:
              value & 0xFFFF)
         )
         self.records_written += 1
-        if self.mode == "drain":
+        if self._drain_mode:
             self._schedule_drain()
 
     # -- convenience recorders (the observer-pattern glue) -----------------
@@ -245,13 +271,16 @@ class QuantoLogger:
 
     def on_single_activity(self, device, label: ActivityLabel,
                            bound: bool) -> None:
+        # The precomputed wire encoding directly: this glue runs once
+        # per activity record, and encode() is a method hop over the
+        # same stored value.
         entry_type = TYPE_ACT_BIND if bound else TYPE_ACT_CHANGE
-        self.record(entry_type, device.res_id, label.encode())
+        self.record(entry_type, device.res_id, label._encoded)
 
     def on_multi_activity(self, device, label: ActivityLabel,
                           added: bool) -> None:
         entry_type = TYPE_ACT_ADD if added else TYPE_ACT_REMOVE
-        self.record(entry_type, device.res_id, label.encode())
+        self.record(entry_type, device.res_id, label._encoded)
 
     def record_boot_snapshot(self, tracker, activity_devices) -> None:
         """Record the initial power-state vector and activity of every

@@ -66,6 +66,13 @@ class PowerStateVar:
         for tracker in self._trackers:
             tracker(self, value)
 
+    def reset(self, initial_value: int = 0) -> None:
+        """Warm-start reset: back to the initial value without notifying
+        trackers (the boot snapshot re-records the starting vector, just
+        as it did on the cold run)."""
+        self._value = initial_value
+        self.change_count = 0
+
     def set_bits(self, mask: int, offset: int, value: int) -> None:
         """Update a bit-field within the state word (paper Figure 1's
         ``setBits``), for devices whose state is a composite register."""

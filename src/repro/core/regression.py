@@ -196,15 +196,17 @@ def solve_grouped(
     y = energy_arr / times_s  # mean power per grouped state, watts
 
     # Design matrix: one column per layout entry that is actually observed
-    # active in at least one group, plus the constant column.
+    # active in at least one group, plus the constant column.  The group
+    # vectors are dict-ified once, not once per layout column.
+    vector_maps = [dict(vector) for vector in vectors]
     observed_columns: list[SinkColumn] = []
     dropped: list[SinkColumn] = []
     column_data: list[np.ndarray] = []
     for column in layout:
         indicator = np.array(
             [
-                1.0 if dict(vector).get(column.res_id) == column.value else 0.0
-                for vector in vectors
+                1.0 if vector.get(column.res_id) == column.value else 0.0
+                for vector in vector_maps
             ]
         )
         if indicator.any():
@@ -224,7 +226,11 @@ def solve_grouped(
     xw = x * sqrt_w[:, None]
     yw = y * sqrt_w
 
-    rank = np.linalg.matrix_rank(xw)
+    # lstsq's effective rank doubles as the deficiency probe: with
+    # ``rcond=None`` its cutoff is eps * max(M, N) * S.max() — the same
+    # formula ``matrix_rank``'s default tolerance uses — so one SVD
+    # serves both the solve and the aliasing diagnosis.
+    solution, _residuals, rank, _sv = np.linalg.lstsq(xw, yw, rcond=None)
     aliased: list[list[str]] = []
     if rank < x.shape[1]:
         aliased = _find_aliased(x, observed_columns)
@@ -233,8 +239,6 @@ def solve_grouped(
                 f"design matrix is rank deficient ({rank} < {x.shape[1]}); "
                 f"aliased groups: {aliased}"
             )
-
-    solution, *_ = np.linalg.lstsq(xw, yw, rcond=None)
     y_hat = x @ solution
 
     power_w = {

@@ -11,13 +11,17 @@ str, or bool default is automatically a sweepable parameter.
 
 from __future__ import annotations
 
+import dataclasses
 import importlib
 import inspect
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.report import format_table
 from repro.errors import ExperimentParameterError
+from repro.hw.platform import PlatformConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
 from repro.tos.node import NodeConfig, QuantoNode
@@ -196,6 +200,49 @@ def experiment_params(exp_id: str) -> dict[str, SweepParam]:
     return params
 
 
+#: Parsed-override memo: a sweep resolves the same handful of override
+#: combos once per point, and the validation + coercion walk is pure in
+#: (exp_id, overrides).  Keys are the raw override items, so any change
+#: of value re-parses; unhashable values just skip the memo.
+_PARSED_OVERRIDES: OrderedDict[tuple, dict[str, Any]] = OrderedDict()
+_PARSED_OVERRIDES_MAX = 256
+
+
+def _resolve_overrides(exp_id: str,
+                       overrides: Optional[dict[str, Any]]) -> dict[str, Any]:
+    if not overrides:
+        return {}
+    try:
+        memo_key = (exp_id, tuple(sorted(overrides.items())))
+    except TypeError:
+        memo_key = None  # unhashable value: parse fresh
+    if memo_key is not None:
+        cached = _PARSED_OVERRIDES.get(memo_key)
+        if cached is not None:
+            _PARSED_OVERRIDES.move_to_end(memo_key)
+            # Rebuilt in the *caller's* key order: the memo key sorts
+            # items so equivalent override dicts share one entry, but
+            # result.params (and the rendered header) must follow each
+            # call's own ordering, exactly as an unmemoized parse would.
+            return {key: cached[key] for key in overrides}
+    params = experiment_params(exp_id)
+    kwargs: dict[str, Any] = {}
+    for key, raw in overrides.items():
+        param = params.get(key)
+        if param is None:
+            known = ", ".join(sorted(params)) or "(none)"
+            raise ExperimentParameterError(
+                f"experiment {exp_id!r} has no parameter {key!r}; "
+                f"sweepable parameters: {known}"
+            )
+        kwargs[key] = param.parse(raw)
+    if memo_key is not None:
+        _PARSED_OVERRIDES[memo_key] = dict(kwargs)
+        while len(_PARSED_OVERRIDES) > _PARSED_OVERRIDES_MAX:
+            _PARSED_OVERRIDES.popitem(last=False)
+    return kwargs
+
+
 def run_experiment(
     exp_id: str,
     seed: int = 0,
@@ -208,23 +255,68 @@ def run_experiment(
     be passed through verbatim).  Unknown keys raise
     :class:`~repro.errors.ExperimentParameterError` naming the valid ones.
     The applied parameters are stamped into ``result.params`` and show up
-    in the rendered header.
+    in the rendered header.  Validation and coercion are memoized per
+    (experiment, override values) — a sweep pays them once per combo,
+    not once per point.
     """
     module = load_experiment(exp_id)
-    params = experiment_params(exp_id)
-    kwargs: dict[str, Any] = {}
-    for key, raw in (overrides or {}).items():
-        param = params.get(key)
-        if param is None:
-            known = ", ".join(sorted(params)) or "(none)"
-            raise ExperimentParameterError(
-                f"experiment {exp_id!r} has no parameter {key!r}; "
-                f"sweepable parameters: {known}"
-            )
-        kwargs[key] = param.parse(raw)
+    kwargs = _resolve_overrides(exp_id, overrides)
     result = module.run(seed=seed, **kwargs)
     result.params = {"seed": seed, **kwargs}
     return result
+
+
+# -- warm-start world cache -------------------------------------------------
+
+#: Env switch for the warm-start protocol (default on; set to 0/off/no to
+#: force a cold construction per run, the reference behaviour).
+WARM_START_ENV_VAR = "REPRO_WARM_START"
+
+_WARM_DISABLED = frozenset(("0", "off", "no", "false"))
+
+#: Constructed blink worlds, keyed by configuration signature.  A sweep
+#: worker revisits the same handful of configurations (one per override
+#: combo), so a small LRU holds the working set; each world's log buffer
+#: is cleared on reset, so an idle cached world costs one run's log.
+_BLINK_WORLDS: OrderedDict[tuple, tuple[Simulator, QuantoNode]] = \
+    OrderedDict()
+_BLINK_WORLDS_MAX = 8
+
+
+def warm_start_enabled() -> bool:
+    """Whether run_blink may reuse (reset) a cached world."""
+    value = os.environ.get(WARM_START_ENV_VAR, "1").strip().lower()
+    return value not in _WARM_DISABLED
+
+
+def clear_warm_worlds() -> None:
+    """Drop every cached world (tests use this to force cold paths)."""
+    _BLINK_WORLDS.clear()
+
+
+def _blink_world_key(node_id: int, node_kwargs: dict) -> Optional[tuple]:
+    """A hashable signature of one blink-world configuration, or ``None``
+    when the configuration is not warm-cacheable (a custom draw profile
+    or any structured argument means we cannot prove value equality, so
+    those runs always construct cold)."""
+    items = []
+    for key in sorted(node_kwargs):
+        value = node_kwargs[key]
+        if key == "platform":
+            if type(value) is not PlatformConfig or value.profile is not None:
+                return None
+            fields = tuple(
+                (f.name, getattr(value, f.name))
+                for f in dataclasses.fields(PlatformConfig)
+                if f.name != "profile"
+            )
+            items.append((key, fields))
+        elif isinstance(value, (int, float, str)) or value is None:
+            # bool is an int subclass; type name disambiguates 0 vs False.
+            items.append((key, (type(value).__name__, value)))
+        else:
+            return None
+    return (node_id, tuple(items))
 
 
 def run_blink(
@@ -233,14 +325,43 @@ def run_blink(
     node_id: int = 1,
     **node_kwargs,
 ) -> tuple[QuantoNode, "BlinkApp", Simulator]:
-    """The standard 48-second Blink run used by several experiments."""
+    """The standard 48-second Blink run used by several experiments.
+
+    Warm start: with ``$REPRO_WARM_START`` unset (or truthy), the
+    simulator + node world for a given configuration is constructed once
+    per process and *reset* per ``(seed)`` instead of rebuilt — module
+    setup, hardware models, and registries are reused; all run state is
+    rewound.  Reset and rebuild are digest-for-digest equivalent
+    (``tests/test_warm_start.py``), so results are bit-identical either
+    way; a sweep worker just skips the per-point construction cost.
+
+    Aliasing contract: a warm hit returns the *same* node/sim objects a
+    previous same-configuration call returned, reset.  Capture whatever
+    you need from a run (bytes, maps, numbers) before calling run_blink
+    again with the same configuration — or disable warm start to hold
+    several live worlds side by side.
+    """
     from repro.apps.blink import BlinkApp
 
-    sim = Simulator()
-    node = QuantoNode(
-        sim, NodeConfig(node_id=node_id, **node_kwargs),
-        rng_factory=RngFactory(seed),
-    )
+    node = None
+    key = _blink_world_key(node_id, node_kwargs) \
+        if warm_start_enabled() else None
+    if key is not None:
+        world = _BLINK_WORLDS.get(key)
+        if world is not None:
+            sim, node = world
+            _BLINK_WORLDS.move_to_end(key)
+            node.reset(seed)
+    if node is None:
+        sim = Simulator()
+        node = QuantoNode(
+            sim, NodeConfig(node_id=node_id, **node_kwargs),
+            rng_factory=RngFactory(seed),
+        )
+        if key is not None:
+            _BLINK_WORLDS[key] = (sim, node)
+            while len(_BLINK_WORLDS) > _BLINK_WORLDS_MAX:
+                _BLINK_WORLDS.popitem(last=False)
     app = BlinkApp()
     node.boot(app.start)
     sim.run(until=duration_ns)

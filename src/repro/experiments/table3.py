@@ -54,9 +54,10 @@ def run(
             icount_gain_error=icount_gain_error,
         )
     node, app, sim = run_blink(seed, duration_ns=duration_ns, **node_kwargs)
-    timeline = node.timeline()
-    regression = node.regression(timeline)
-    emap = node.energy_map(timeline, regression)
+    # One shared reconstruction for the regression and the map (on the
+    # columnar default this is a single vectorized decode, no per-entry
+    # objects) — the analysis half of a sweep point's cost.
+    regression, emap = node.breakdown()
     span_s = to_s(sim.now)
 
     # (a) time breakdown: component x activity.

@@ -51,6 +51,14 @@ class VoltageReference:
         if self._listener:
             self._listener(False)
 
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: off, draw re-derived, harness listener
+        dropped."""
+        if profile is not None:
+            self._amps = profile.current("VoltageReference", "ON")
+        self.is_on = False
+        self._listener = None
+
 
 class Adc:
     """ADC12: multi-sample conversions with a completion interrupt."""
@@ -91,6 +99,14 @@ class Adc:
 
         self.sim.after(samples * ADC_SAMPLE_NS, done)
 
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: idle, tallies zeroed, draw re-derived."""
+        if profile is not None:
+            self._amps = profile.current("ADC", "CONVERTING")
+        self.converting = False
+        self.conversions = 0
+        self._listener = None
+
 
 class Dac:
     """DAC12: holds an output; draws per its settling mode while enabled."""
@@ -119,3 +135,10 @@ class Dac:
         self._sink.off()
         if self._listener:
             self._listener(None)
+
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: disabled, harness listener dropped."""
+        if profile is not None:
+            self._rail_profile = profile
+        self.mode = None
+        self._listener = None

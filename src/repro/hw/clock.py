@@ -59,3 +59,14 @@ class ClockSystem:
         once Quanto surfaced it)."""
         self.dco_calibration = False
         self.timer_a.unit(1).disarm()
+
+    def reset(self, dco_calibration: Optional[bool] = None) -> None:
+        """Warm-start reset: zero the tally and, when calibration is
+        configured on, re-arm the loop exactly as :meth:`start` did at
+        construction (the ISR wiring survives the reset)."""
+        if dco_calibration is not None:
+            self.dco_calibration = dco_calibration
+        self.calibration_count = 0
+        if self.dco_calibration and self._isr is not None:
+            self.timer_a.unit(1).set_handler(self._fire)
+            self.timer_a.unit(1).arm(self.sim.now + self._period_ns)

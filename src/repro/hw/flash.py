@@ -57,6 +57,20 @@ class ExternalFlash:
         transition — the handshake lines the driver shadows."""
         self._ready_listener = fn
 
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: powered down, storage erased, tally zeroed.
+        The ready-listener wiring (installed by the driver at node
+        construction) survives, but the listener is *not* notified — the
+        driver resets its own shadow state separately."""
+        if profile is not None:
+            self.profile = profile
+        self.state = STATE_POWER_DOWN
+        self._pages.clear()
+        self._busy = False
+        self.operations = 0
+        self._sink.set_current(
+            self.profile.current("ExternalFlash", STATE_POWER_DOWN))
+
     def _apply(self, state: str) -> None:
         self.state = state
         self._sink.set_current(self.profile.current("ExternalFlash", state))

@@ -51,6 +51,13 @@ class CompareUnit:
     def armed(self) -> bool:
         return self._event is not None and self._event.alive
 
+    def reset(self) -> None:
+        """Warm-start reset: forget the pending arm (the simulator reset
+        already detached the event) and the fire tally.  The installed
+        handler is construction wiring and survives."""
+        self._event = None
+        self.fire_count = 0
+
     def _fire(self) -> None:
         self._event = None
         self.fire_count += 1
@@ -75,3 +82,8 @@ class TimerBlock:
             raise HardwareError(
                 f"{self.name} has no compare unit {index}"
             ) from None
+
+    def reset(self) -> None:
+        """Warm-start reset of every compare unit in the block."""
+        for unit in self.units:
+            unit.reset()

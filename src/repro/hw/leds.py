@@ -66,6 +66,16 @@ class Led:
         else:
             self.on()
 
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: off, tally zeroed, the on-draw re-derived
+        for the (possibly re-varied) profile.  Listeners are attached by
+        harness code, not platform construction, so they are dropped."""
+        if profile is not None:
+            self._on_amps = profile.current(self.name, "ON")
+        self._is_on = False
+        self.toggle_count = 0
+        self._listener = None
+
 
 class LedBank:
     """The platform's three LEDs."""
@@ -82,3 +92,8 @@ class LedBank:
     def all_off(self) -> None:
         for led in self.leds:
             led.off()
+
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset of all three LEDs."""
+        for led in self.leds:
+            led.reset(profile)

@@ -87,6 +87,31 @@ class Mcu:
         self.jobs_executed = 0
         self._apply_sleep_current()
 
+    # -- warm-start reset ------------------------------------------------
+
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Return to the post-construction state (idle, queues empty,
+        counters zero), optionally against a new draw profile.
+
+        Part of the warm-start protocol: a re-seeded run re-resolves the
+        per-device variation, so the cached ACTIVE/sleep draws must be
+        re-derived, not just re-applied.  The caller resets the rail
+        first; this re-applies the sleep current on the zeroed sink.
+        """
+        if profile is not None:
+            self.profile = profile
+            self._active_amps = profile.current("CPU", "ACTIVE")
+            self._sleep_amps = profile.current("CPU", self.sleep_state)
+        self._irq_jobs.clear()
+        self._task_jobs.clear()
+        self._active = False
+        self._in_job = False
+        self._pending_cycles = 0
+        self._job_start_ns = 0
+        self.total_active_cycles = 0
+        self.jobs_executed = 0
+        self._apply_sleep_current()
+
     # -- power-state plumbing -------------------------------------------
 
     def add_power_listener(self, fn: Callable[[str], None]) -> None:
@@ -140,8 +165,13 @@ class Mcu:
     def _dispatch(self) -> None:
         if self._in_job:
             return
-        job = self._next_job()
-        if job is None:
+        # Inlined _next_job (kept as a method for tests/repr): dispatch
+        # runs once per job and the call was pure overhead.
+        if self._irq_jobs:
+            job = self._irq_jobs.popleft()
+        elif self._task_jobs:
+            job = self._task_jobs.popleft()
+        else:
             self._go_to_sleep()
             return
         sim = self.sim

@@ -60,6 +60,13 @@ class InternalFlash:
 
         self.sim.after(count * WORD_PROGRAM_NS, done)
 
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: idle, harness listener dropped."""
+        if profile is not None:
+            self.profile = profile
+        self.busy = False
+        self._listener = None
+
     def erase_segment(self, on_done: Callable[[], None]) -> None:
         if self.busy:
             raise HardwareError("internal flash busy")
@@ -88,6 +95,12 @@ class InternalTempSensor:
         self.sampling = False
         self._sink.off()
 
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: not sampling, draw re-derived."""
+        if profile is not None:
+            self._amps = profile.current("TemperatureSensor", "SAMPLE")
+        self.sampling = False
+
 
 class AnalogComparator:
     """Comparator_A: draws while enabled."""
@@ -104,6 +117,12 @@ class AnalogComparator:
     def disable(self) -> None:
         self.enabled = False
         self._sink.off()
+
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Warm-start reset: disabled, draw re-derived."""
+        if profile is not None:
+            self._amps = profile.current("AnalogComparator", "COMPARE")
+        self.enabled = False
 
 
 class SupplySupervisor:
@@ -124,3 +143,13 @@ class SupplySupervisor:
     def disable(self) -> None:
         self.enabled = False
         self._sink.off()
+
+    def reset(self, profile: Optional[ActualDrawProfile] = None,
+              enabled: bool = False) -> None:
+        """Warm-start reset: draw re-derived, re-enabled when the node
+        config folds the supervisor into the always-on floor."""
+        if profile is not None:
+            self._amps = profile.current("SupplySupervisor", "ON")
+        self.enabled = False
+        if enabled:
+            self.enable()

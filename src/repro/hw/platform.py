@@ -120,6 +120,41 @@ class HydrowatchPlatform:
             rng=self.rng.stream(f"node{node_id}.icount"),
         )
 
+    # -- warm-start reset -------------------------------------------------
+
+    def reset(self) -> None:
+        """Return every hardware block to its post-construction state.
+
+        Part of the warm-start protocol.  The caller has already re-keyed
+        ``self.rng`` (:meth:`RngFactory.reseed`) and reset the simulator;
+        this re-resolves the per-device draw variation for the new seed —
+        consuming the variation stream exactly as construction would —
+        and pushes the fresh profile into every block that caches draws,
+        then re-applies the initial currents onto the zeroed rail.
+        """
+        node_id = self.config.node_id
+        self.profile = self.config.resolved_profile(self.rng, node_id)
+        profile = self.profile
+        self.rail.reset()
+        self._baseline.set_current(profile.baseline_amps)
+        self.mcu.reset(profile)
+        self.timer_a.reset()
+        self.timer_b.reset()
+        self.clock.reset()
+        self.leds.reset(profile)
+        self.spi.reset()
+        self.radio.reset(profile)
+        self.flash.reset(profile)
+        self.sensor.reset()
+        self.vref.reset(profile)
+        self.adc.reset(profile)
+        self.dac.reset(profile)
+        self.internal_flash.reset(profile)
+        self.internal_temp.reset(profile)
+        self.comparator.reset(profile)
+        self.supervisor.reset(profile, enabled=self.config.supervisor_enabled)
+        self.icount.reset()
+
     @property
     def node_id(self) -> int:
         return self.config.node_id

@@ -140,6 +140,29 @@ class PowerRail:
         for observer in self._observers:
             observer(self.sim.now, self._total_amps)
 
+    # -- warm-start reset --------------------------------------------------
+
+    def reset(self) -> None:
+        """Return the rail to its freshly constructed state: every sink at
+        zero draw, integrators empty, the clock mark back at t=0.
+
+        Part of the warm-start protocol.  Registered sinks survive (the
+        hardware wiring is construction state); observers do not — they
+        are attached by measurement harnesses (the oscilloscope), never
+        during platform construction, so a reset drops them rather than
+        let a previous run's instrument watch the next run.  Callers
+        (the platform reset) re-apply the initial currents afterwards.
+        """
+        for handle in self._sinks.values():
+            handle._amps = 0.0
+        self._hot.clear()
+        self._total_amps = 0.0
+        self._energy_j = 0.0
+        self._last_update_ns = 0
+        self._observers.clear()
+        for name in self._sink_energy_j:
+            self._sink_energy_j[name] = 0.0
+
     # -- queries -----------------------------------------------------------
 
     def energy(self) -> float:

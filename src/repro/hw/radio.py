@@ -134,6 +134,32 @@ class Radio:
                                    tuple[float, float, float, float]] = {}
         self._vreg.set_current(profile.current("RadioRegulator", "OFF"))
 
+    # -- warm-start reset -------------------------------------------------
+
+    def reset(self, profile: Optional[ActualDrawProfile] = None) -> None:
+        """Return to the post-construction state (OFF, FIFOs empty,
+        tallies zeroed), re-deriving the per-state draw LUT when the
+        profile was re-varied.
+
+        Only supported for a detached radio (no channel): a node wired
+        into a network cannot be warm-reset in isolation.
+        """
+        if self.channel is not None:
+            raise HardwareError("cannot reset a radio attached to a channel")
+        if profile is not None:
+            self.profile = profile
+        self._state_currents.clear()
+        self.battery_monitor_enabled = False
+        self.state = STATE_OFF
+        self.tx_power_dbm = 0
+        self.tx_fifo = None
+        self.rx_fifo.clear()
+        self._rx_in_progress = None
+        self._pending = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._vreg.set_current(self.profile.current("RadioRegulator", "OFF"))
+
     # -- wiring ---------------------------------------------------------
 
     def attach(self, channel: "RadioChannel") -> None:

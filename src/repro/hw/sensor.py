@@ -46,6 +46,13 @@ class Sht11Sensor:
         """Driver hook: observe IDLE/MEASURING transitions."""
         self._listener = fn
 
+    def reset(self) -> None:
+        """Warm-start reset: idle, tally zeroed.  The rng stream is
+        re-seeded by the factory that owns it."""
+        self.state = STATE_IDLE
+        self.measurements = 0
+        self._sink.set_current(IDLE_AMPS)
+
     def _apply(self, state: str, amps: float) -> None:
         self.state = state
         self._sink.set_current(amps)

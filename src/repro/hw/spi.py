@@ -45,6 +45,12 @@ class SpiBus:
     def busy(self) -> bool:
         return self._busy
 
+    def reset(self) -> None:
+        """Warm-start reset: idle bus, tallies zeroed."""
+        self._busy = False
+        self.pair_interrupts = 0
+        self.dma_transfers = 0
+
     def _acquire(self) -> None:
         if self._busy:
             raise HardwareError("SPI bus is busy")

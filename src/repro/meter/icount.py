@@ -66,11 +66,22 @@ class ICountMeter:
         self._effective_j = (
             self.nominal_energy_per_pulse_j * (1.0 + self.gain_error)
         )
+        # read() is the log's per-record cost: the jitter draw is bound
+        # once (the stream object is stable — warm-start reseeds it in
+        # place) instead of two attribute hops per read.
+        self._gauss = rng.gauss if (self.jitter_pulses and rng is not None) \
+            else None
 
     @property
     def effective_energy_per_pulse_j(self) -> float:
         """The true joules per counted pulse including gain error."""
         return self._effective_j
+
+    def reset(self) -> None:
+        """Warm-start reset: rewind the monotone counter clamp.  The rng
+        stream is re-seeded by the factory, and the calibration constants
+        are per-config, so nothing else here is run state."""
+        self._last_count = 0
 
     def read(self, at_ns: Optional[int] = None) -> int:
         """Current pulse count (monotone, uint32 semantics handled by the
@@ -83,19 +94,32 @@ class ICountMeter:
         mirrors the real meter being read mid-execution rather than at the
         event-loop boundary.
         """
-        # Inlined rail.energy()/rail.power(): one read per log record
-        # makes the method-call overhead of the polite accessors real
-        # money (the arithmetic and its grouping are unchanged).
+        # Inlined rail.energy()/rail.power() *and* the integrate step:
+        # one read per log record makes the method-call overhead of the
+        # polite accessors real money (the arithmetic, its grouping, and
+        # the per-sink accumulation order are exactly
+        # PowerRail._integrate_to_now's).
         rail = self.rail
-        rail._integrate_to_now()
+        now = rail.sim._now
+        dt_ns = now - rail._last_update_ns
+        if dt_ns > 0:
+            total = rail._total_amps
+            if total:
+                dt_s = dt_ns * 1e-9
+                voltage = rail.voltage
+                rail._energy_j += voltage * total * dt_s
+                sink_energy = rail._sink_energy_j
+                for name, handle in rail._hot.items():
+                    sink_energy[name] += voltage * handle._amps * dt_s
+            rail._last_update_ns = now
         energy = rail._energy_j
         if at_ns is not None:
-            ahead_ns = at_ns - rail.sim._now
+            ahead_ns = at_ns - now
             if ahead_ns > 0:
                 energy += rail._total_amps * rail.voltage * ahead_ns * 1e-9
         count = energy / self._effective_j
-        if self.jitter_pulses and self._rng is not None:
-            count += self._rng.gauss(0.0, self.jitter_pulses)
+        if self._gauss is not None:
+            count += self._gauss(0.0, self.jitter_pulses)
         pulses = math.floor(count)
         if pulses < self._last_count:
             # Jitter must never make the counter run backwards.

@@ -289,5 +289,33 @@ class Simulator:
         queue (``__repr__`` and experiment asserts call this freely)."""
         return self._live
 
+    def reset(self) -> None:
+        """Return to the freshly constructed state: clock at zero, empty
+        queue, sequence counter rewound.
+
+        Part of the warm-start protocol: a sweep worker resets the
+        simulator (and the node built on it) between grid points instead
+        of rebuilding the world.  Outstanding :class:`Event` handles from
+        the previous run are detached (marked dead and dequeued) so a
+        stale ``cancel()`` can never perturb the next run's accounting.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        for bucket in self._buckets.values():
+            for event in bucket:
+                event.alive = False
+                event._queued = False
+        for _, _, event in self._overflow:
+            event.alive = False
+            event._queued = False
+        self._now = 0
+        self._seq = 0
+        self._buckets = {}
+        self._times = []
+        self._overflow = []
+        self._horizon = NEAR_WINDOW_NS
+        self._live = 0
+        self._events_executed = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now} ns, {self.pending()} pending>"

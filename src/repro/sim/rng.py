@@ -25,13 +25,30 @@ class RngFactory:
         existing = self._streams.get(name)
         if existing is not None:
             return existing
+        stream = random.Random(self._derive(name))
+        self._streams[name] = stream
+        return stream
+
+    def _derive(self, name: str) -> int:
         digest = hashlib.sha256(
             f"{self.master_seed}:{name}".encode("utf-8")
         ).digest()
-        seed = int.from_bytes(digest[:8], "big")
-        stream = random.Random(seed)
-        self._streams[name] = stream
-        return stream
+        return int.from_bytes(digest[:8], "big")
+
+    def reseed(self, master_seed: int) -> None:
+        """Re-key the factory (and every stream already handed out) for a
+        new master seed, *in place*.
+
+        Part of the warm-start protocol: consumers hold direct references
+        to their streams (the sensor, the meter, a MAC), so replacing the
+        factory would leave them on the old seed.  Re-seeding each cached
+        ``random.Random`` instead puts every holder into exactly the
+        state a cold construction with ``RngFactory(master_seed)`` would
+        have produced — same derivation, same stream names.
+        """
+        self.master_seed = int(master_seed)
+        for name, stream in self._streams.items():
+            stream.seed(self._derive(name))
 
     def fork(self, name: str) -> "RngFactory":
         """Derive a child factory (e.g. one per node) with its own space."""

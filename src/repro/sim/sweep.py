@@ -23,9 +23,20 @@ key is the sha256 of (cache format, a fingerprint of the ``repro``
 source tree, experiment id, seed, overrides) — so a second identical
 sweep simulates nothing, a grid extension simulates only the new points,
 and *any* source change invalidates every prior entry automatically.
-Cached payloads are JSON with a round-trip check at store time, so a
-point folded from cache is byte-identical to the freshly simulated one
-(the per-point digests in the report let anyone re-verify).
+Physically the cache is one packed append-only **shard store** per
+experiment (:mod:`repro.sim.shardstore`): struct-framed, optionally
+zlib-compressed JSON payloads behind an index file, so a warm rerun
+folds points with one seek+read each instead of an open/parse/close per
+file, and a whole campaign's cache travels as two files.  A point folded
+from cache is byte-identical to the freshly simulated one (the per-point
+digests in the report let anyone re-verify).
+
+Campaigns shard across machines with zero coordination:
+``run_sweep(..., shard=(i, N))`` (CLI ``--shard i/N``) runs the i-th
+deterministic slice of the canonical grid into its own cache dir, and
+:func:`merge_sweeps` (CLI ``merge-sweeps``) folds any collection of
+shard stores back in canonical grid order — byte-identical, digest for
+digest, to the unsharded run.
 
 Determinism is the design center, not an afterthought:
 
@@ -59,6 +70,7 @@ from repro.core.accounting import BACKEND_ENV_VAR, resolve_analysis_backend
 from repro.core.report import format_table
 from repro.errors import SweepError
 from repro.experiments.common import experiment_params, run_experiment
+from repro.sim.shardstore import ShardStore
 
 #: Start method for worker processes.  ``fork`` is preferred: workers
 #: inherit the warm interpreter (no re-import cost) and since every
@@ -249,6 +261,8 @@ class SweepResult:
     cache_dir: Optional[str] = None
     cache_hits: int = 0
     backend: Optional[str] = None  # analysis backend, when explicitly set
+    shard: Optional[tuple[int, int]] = None  # (index, count) when sharded
+    grid_points: Optional[int] = None  # full grid size (for shard headers)
 
     @property
     def seeds(self) -> list[int]:
@@ -286,6 +300,12 @@ class SweepResult:
             f"-- mode: {mode}; wall {self.wall_s:.2f} s "
             f"(serial estimate {self.serial_wall_s:.2f} s)",
         ]
+        if self.shard is not None:
+            index, count = self.shard
+            total = self.grid_points if self.grid_points is not None else "?"
+            header.append(
+                f"-- shard: {index}/{count} "
+                f"({len(self.points)} of {total} grid points)")
         if self.backend is not None:
             header.append(f"-- analysis backend: {self.backend}")
         if self.cache_dir is not None:
@@ -354,21 +374,35 @@ def code_fingerprint() -> str:
     return _code_fingerprint_cache
 
 
+#: With this env var truthy, every store (not just the first per run)
+#: re-parses its JSON payload to prove the round-trip is lossless — the
+#: debug mode of the identity check below.
+CACHE_VERIFY_ENV_VAR = "REPRO_CACHE_VERIFY"
+
+
 class SweepCache:
     """Digest-keyed per-point result store under one directory.
 
-    Layout: ``<root>/<exp_id>/<point-key>.json`` where the key hashes
-    (format version, code fingerprint, exp_id, seed, overrides).  The
-    cache is strictly best-effort: loads tolerate missing or corrupt
-    files and stores tolerate unwritable or full targets (both just
-    miss — a broken cache slows a campaign down, never kills or
-    corrupts it).  Stores are atomic (write + rename) and skipped when
-    the payload does not round-trip through JSON exactly, so a cache
-    hit always folds the same bytes a fresh run would have.
+    Layout: one packed :class:`~repro.sim.shardstore.ShardStore` per
+    experiment — ``<root>/<exp_id>.shard`` plus its ``.idx`` accelerator
+    — holding JSON point payloads under the same 32-byte keys as ever
+    (format version, code fingerprint, exp_id, seed, overrides all
+    hashed in, so any source edit still auto-invalidates).  The cache is
+    strictly best-effort: loads tolerate missing or torn records and
+    stores tolerate unwritable targets (both just miss — a broken cache
+    slows a campaign down, never kills or corrupts it).
+
+    Round-trip identity: a cache hit must fold the same bytes a fresh
+    run would have.  ``json.dumps``/``loads`` is lossless for the JSON
+    types experiments report, so the expensive proof (re-parsing every
+    payload on store — O(payload) per point) runs **once per process**
+    as a canary; set ``$REPRO_CACHE_VERIFY=1`` to check every store
+    while debugging an experiment that emits exotic payloads.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        self._stores: dict[str, ShardStore] = {}
 
     def point_key(self, point: SweepPoint) -> str:
         # JSON-encode the identity so delimiter characters inside
@@ -380,23 +414,30 @@ class SweepCache:
         )
         return hashlib.sha256(identity.encode("utf-8")).hexdigest()
 
-    def _path(self, point: SweepPoint) -> Path:
-        return self.root / point.exp_id / f"{self.point_key(point)}.json"
+    def _store_for(self, exp_id: str) -> ShardStore:
+        store = self._stores.get(exp_id)
+        if store is None:
+            store = ShardStore(self.root / f"{exp_id}.shard")
+            self._stores[exp_id] = store
+        return store
+
+    def _raw_key(self, point: SweepPoint) -> bytes:
+        return bytes.fromhex(self.point_key(point))
 
     def has(self, point: SweepPoint) -> bool:
-        """Cheap existence probe (no payload parsing) — used to plan the
-        pool before any payload is held in memory."""
+        """Index probe (no payload read) — used to plan the pool before
+        any payload is held in memory."""
         try:
-            return self._path(point).is_file()
-        except OSError:
+            return self._store_for(point.exp_id).has(self._raw_key(point))
+        except OSError:  # pragma: no cover - stat trouble = miss
             return False
 
     def load(self, point: SweepPoint) -> Optional[PointResult]:
-        try:
-            payload = json.loads(self._path(point).read_text("utf-8"))
-        except (OSError, ValueError):
+        raw = self._store_for(point.exp_id).load(self._raw_key(point))
+        if raw is None:
             return None
         try:
+            payload = json.loads(raw)
             return PointResult(
                 point=point,
                 data=payload["data"],
@@ -405,8 +446,10 @@ class SweepCache:
                 wall_s=payload["wall_s"],
                 from_cache=True,
             )
-        except (KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             return None
+
+    _roundtrip_verified = False  # class-wide once-per-process canary
 
     def store(self, result: PointResult) -> bool:
         payload = {
@@ -420,20 +463,56 @@ class SweepCache:
             text = json.dumps(payload)
         except (TypeError, ValueError):
             return False  # non-JSON payload: run it fresh every time
-        if json.loads(text) != payload:
-            return False  # lossy round-trip would break hit/miss identity
-        try:
-            path = self._path(result.point)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp{os.getpid()}")
-            tmp.write_text(text, "utf-8")
-            tmp.replace(path)
-        except OSError:
-            return False  # unwritable cache must not kill the campaign
-        return True
+        if not SweepCache._roundtrip_verified \
+                or os.environ.get(CACHE_VERIFY_ENV_VAR):
+            if json.loads(text) != payload:
+                # Lossy round-trip would break hit/miss identity.
+                return False
+            SweepCache._roundtrip_verified = True
+        return self._store_for(result.point.exp_id).store(
+            self._raw_key(result.point), text.encode("utf-8"))
 
 
 # -- grid -----------------------------------------------------------------
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse an ``i/N`` shard spec (``0/4`` … ``3/4``) into (index, count).
+
+    Zero-based: shard ``i`` of ``N`` owns the grid points whose canonical
+    index ≡ i (mod N).
+    """
+    index_str, sep, count_str = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError(spec)
+        index, count = int(index_str), int(count_str)
+    except ValueError:
+        raise SweepError(
+            f"bad shard spec {spec!r}; expected i/N, e.g. 0/4") from None
+    if count < 1 or not 0 <= index < count:
+        raise SweepError(
+            f"bad shard spec {spec!r}: need 0 <= i < N, got i={index} N={count}")
+    return index, count
+
+
+def shard_points(
+    points: Sequence[SweepPoint], index: int, count: int,
+) -> list[SweepPoint]:
+    """Shard ``index`` of ``count``'s slice of the canonical grid.
+
+    Round-robin over the canonical (seed-major) grid order: point ``k``
+    belongs to shard ``k mod count``.  The partition is a pure function
+    of the grid — every point lands in exactly one shard, shards of one
+    campaign never overlap, and their union is the grid — so N machines
+    can each run ``--shard i/N`` against the same spec with no
+    coordination and :func:`merge_sweeps` can fold the stores back into
+    the exact unsharded result.  Round-robin (rather than contiguous
+    blocks) balances seed-correlated cost gradients across shards.
+    """
+    if count < 1 or not 0 <= index < count:
+        raise SweepError(f"bad shard: need 0 <= i < N, got i={index} N={count}")
+    return list(points[index::count])
 
 
 def expand_grid(
@@ -571,17 +650,25 @@ def run_sweep(
     start_method: Optional[str] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     backend: Optional[str] = None,
+    shard: Optional[tuple[int, int]] = None,
 ) -> SweepResult:
     """Run a campaign and aggregate it, streaming.
 
     ``jobs <= 1`` runs in-process (the serial reference); ``jobs > 1``
     fans points out to a worker pool; ``jobs == 0`` auto-detects the
-    CPU count.  Either way the per-point payloads are identical and are
-    folded in grid order — the pool only changes wall time.
+    usable CPU count (the scheduling affinity mask where the platform
+    exposes one, so a containerized run sized to 2 cores gets 2 workers,
+    not the host's 64).  Either way the per-point payloads are identical
+    and are folded in grid order — the pool only changes wall time.
 
     With ``cache_dir`` set, previously simulated points load from the
-    digest-keyed cache and only the rest are dispatched; fresh results
-    are stored back for the next campaign.
+    digest-keyed packed store and only the rest are dispatched; fresh
+    results are stored back for the next campaign.
+
+    ``shard=(i, N)`` runs only shard ``i``'s deterministic slice of the
+    grid (see :func:`shard_points`) — the multi-machine campaign
+    building block: give every machine the same spec plus its own shard
+    index and cache dir, then fold the stores with :func:`merge_sweeps`.
 
     ``backend`` selects the analysis backend for every point: it is
     exported as ``$REPRO_ANALYSIS_BACKEND`` for the duration of the
@@ -601,7 +688,7 @@ def run_sweep(
     try:
         result = _run_sweep_inner(
             exp_id, seeds, overrides, jobs=jobs,
-            start_method=start_method, cache_dir=cache_dir,
+            start_method=start_method, cache_dir=cache_dir, shard=shard,
         )
     finally:
         if backend is not None:
@@ -613,6 +700,22 @@ def run_sweep(
     return result
 
 
+def detect_jobs() -> int:
+    """Usable worker count: the CPU affinity mask's size where the OS
+    has one (cgroup/taskset-limited CI boxes), else ``os.cpu_count()``.
+    Raw ``cpu_count`` oversubscribes containerized runners — it reports
+    the host's cores no matter how few the container may schedule on."""
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            usable = len(affinity(0))
+            if usable > 0:
+                return usable
+        except OSError:  # pragma: no cover - exotic platform trouble
+            pass
+    return os.cpu_count() or 1
+
+
 def _run_sweep_inner(
     exp_id: str,
     seeds: Iterable[int],
@@ -620,16 +723,20 @@ def _run_sweep_inner(
     jobs: int = 1,
     start_method: Optional[str] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    shard: Optional[tuple[int, int]] = None,
+    cache: Optional["SweepCache"] = None,
 ) -> SweepResult:
-    points = expand_grid(exp_id, seeds, overrides)
+    grid = expand_grid(exp_id, seeds, overrides)
+    points = grid if shard is None else shard_points(grid, *shard)
     start = time.perf_counter()
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    if cache is None and cache_dir is not None:
+        cache = SweepCache(cache_dir)
     # Plan with a cheap existence probe; payloads load one at a time
     # during the fold, so a warm rerun stays as lean as a cold one.
     hits = [cache is not None and cache.has(point) for point in points]
     misses = [point for point, hit in zip(points, hits) if not hit]
     if jobs == 0:
-        jobs = os.cpu_count() or 1
+        jobs = detect_jobs()
     # jobs records how the campaign actually ran (for the provenance
     # header): the pool is never wider than the work, and a fully-cached
     # or jobs<=1 campaign runs in-process.
@@ -687,7 +794,93 @@ def _run_sweep_inner(
         comparisons=aggregator.comparisons(),
         cache_dir=str(cache_dir) if cache_dir is not None else None,
         cache_hits=sum(1 for s in summaries if s.from_cache),
+        shard=shard,
+        grid_points=len(grid),
     )
+
+
+# -- multi-machine merge ----------------------------------------------------
+
+
+class _UnionCache:
+    """Read-through union of several shard stores: loads probe the dirs
+    in the order given (first hit wins), stores go to the first — so a
+    non-strict merge leaves the primary store covering the whole grid."""
+
+    def __init__(self, caches: Sequence[SweepCache]) -> None:
+        self.caches = list(caches)
+
+    def has(self, point: SweepPoint) -> bool:
+        return any(cache.has(point) for cache in self.caches)
+
+    def load(self, point: SweepPoint) -> Optional[PointResult]:
+        for cache in self.caches:
+            result = cache.load(point)
+            if result is not None:
+                return result
+        return None
+
+    def store(self, result: PointResult) -> bool:
+        return self.caches[0].store(result)
+
+
+def merge_sweeps(
+    exp_id: str,
+    seeds: Iterable[int],
+    overrides: Optional[Mapping[str, Sequence[str]]] = None,
+    cache_dirs: Sequence[Union[str, Path]] = (),
+    jobs: int = 1,
+    strict: bool = False,
+    backend: Optional[str] = None,
+) -> SweepResult:
+    """Fold N shard runs' stores into the unsharded campaign result.
+
+    Re-expands the canonical grid for the spec and folds every point's
+    cached payload — wherever it lives among ``cache_dirs`` — through
+    the same Welford aggregation, **in canonical grid order**.  Because
+    the fold order and the per-point bytes are exactly those of an
+    unsharded run, the merged aggregates, per-point digests, and sweep
+    digest are byte-identical to running the whole campaign on one
+    machine (and to merging the same stores in any directory order —
+    a point's payload is the same bytes in whichever store holds it).
+
+    Points no store covers are simulated here (and written back to the
+    first store) unless ``strict`` is set, in which case missing
+    coverage raises :class:`SweepError` naming the gap — the mode for a
+    merge host that must not silently absorb a lost shard.
+    """
+    if not cache_dirs:
+        raise SweepError("merge needs at least one cache directory")
+    seeds = list(seeds)
+    union = _UnionCache([SweepCache(directory) for directory in cache_dirs])
+    if strict:
+        grid = expand_grid(exp_id, seeds, overrides)
+        missing = [p for p in grid if not union.has(p)]
+        if missing:
+            shown = ", ".join(p.describe() for p in missing[:5])
+            more = f" (+{len(missing) - 5} more)" if len(missing) > 5 else ""
+            raise SweepError(
+                f"strict merge: {len(missing)} of {len(grid)} grid points "
+                f"missing from the shard stores: {shown}{more}"
+            )
+    label = " + ".join(str(directory) for directory in cache_dirs)
+    if backend is not None:
+        backend = resolve_analysis_backend(backend)
+        previous_env = os.environ.get(BACKEND_ENV_VAR)
+        os.environ[BACKEND_ENV_VAR] = backend
+    try:
+        result = _run_sweep_inner(
+            exp_id, seeds, overrides, jobs=jobs, cache_dir=label,
+            cache=union,
+        )
+    finally:
+        if backend is not None:
+            if previous_env is None:
+                del os.environ[BACKEND_ENV_VAR]
+            else:
+                os.environ[BACKEND_ENV_VAR] = previous_env
+    result.backend = backend
+    return result
 
 
 # -- aggregation ----------------------------------------------------------

@@ -48,6 +48,12 @@ class Arbiter:
     def owner(self) -> Optional[str]:
         return self._owner
 
+    def reset(self) -> None:
+        """Warm-start reset: no owner, empty queue, zero tally."""
+        self._owner = None
+        self._queue.clear()
+        self.grants = 0
+
     def request(self, client: str, on_granted: Callable[[], None]) -> None:
         """Request the resource; ``on_granted`` runs (in task context,
         under the requester's activity) when it is this client's turn."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.core.activity import SingleActivityDevice
 from repro.core.labels import ActivityLabel
 from repro.core.powerstate import PowerStateVar
+from repro.errors import HardwareError
 from repro.hw.mcu import Mcu
 
 #: CPU power-state variable values.
@@ -58,9 +59,23 @@ class CpuContext:
         """Execute ``body(*args)`` between prologue and epilogue
         (exception-safe: a crashing job still records the sleep
         transition).  Extra arguments let posters pass the target
-        directly instead of wrapping it in a closure per post."""
-        self.prologue()
+        directly instead of wrapping it in a closure per post.
+
+        The prologue/epilogue bodies are inlined here — this wrapper
+        runs once per CPU job, and two method calls per job are real
+        overhead at fleet scale; the standalone methods above remain the
+        spec (and the entry points instrumentation tests drive).
+        """
+        mcu = self.mcu
+        if not mcu._in_job:  # pragma: no cover - wrapper always in-job
+            raise HardwareError("Mcu.consume() called outside a job")
+        mcu._pending_cycles += WRAPPER_CYCLES
+        self.cpu_powerstate.set(CPU_PS_ACTIVE)
         try:
             body(*args)
         finally:
-            self.epilogue()
+            # jobs_pending() == 0: only the queues — the wrapper itself
+            # still runs inside its job.
+            if not (mcu._irq_jobs or mcu._task_jobs):
+                self.cpu_activity.set(self.idle_label)
+                self.cpu_powerstate.set(CPU_PS_SLEEP)

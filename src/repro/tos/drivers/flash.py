@@ -83,6 +83,18 @@ class FlashDriver:
         flash.set_ready_listener(self._shadow_state)
         self._pending_result = None
 
+    def reset(self) -> None:
+        """Warm-start reset: no operation in flight, the shadowed state
+        back to the (reset) chip's power-down state, tallies zero.  The
+        interrupt wiring and ready-listener hook survive."""
+        self._op_activity = None
+        self._op_done = None
+        self._after_wake = None
+        self.operations = 0
+        self._last_hw_state = self.flash.state
+        self._pending_result = None
+        self.arbiter.reset()
+
     def _shadow_state(self, state: str, busy: bool) -> None:
         """Hardware moved; remember it so the next CPU-context touchpoint
         records the shadowed state.  Ready-line edges (busy falling while

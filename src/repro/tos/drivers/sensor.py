@@ -59,6 +59,15 @@ class SensorDriver:
         self._ready_irq = interrupts.wire(
             "int_SENSOR", self._data_ready, body_cycles=READY_CYCLES)
 
+    def reset(self) -> None:
+        """Warm-start reset: no read in flight, tallies zero (wiring
+        survives)."""
+        self._op_activity = None
+        self._op_done = None
+        self._result = None
+        self.reads = 0
+        self.arbiter.reset()
+
     def read_humidity(self, on_done: Callable[[float], None]) -> None:
         """Start a humidity conversion; ``on_done(percent)`` in task
         context under the requester's activity."""

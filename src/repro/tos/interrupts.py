@@ -74,3 +74,8 @@ class InterruptController:
     def count(self, vector: str) -> int:
         """How many times a vector has dispatched (Figure 15's evidence)."""
         return self.dispatch_counts.get(vector, 0)
+
+    def reset(self) -> None:
+        """Warm-start reset: zero the dispatch tallies (wired vectors
+        survive — wiring is construction state)."""
+        self.dispatch_counts.clear()

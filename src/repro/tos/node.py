@@ -266,6 +266,68 @@ class QuantoNode:
         # end time): regression + accounting reuse one decode.
         self._columnar_cache: Optional[tuple[int, int, ColumnarTimeline]] = \
             None
+        # Warm-start snapshot: the registration/observer state as of the
+        # end of construction, so reset() can drop anything attached or
+        # registered by a previous run (app activities, test trackers).
+        self._pristine_registry = self.registry.snapshot_state()
+        self._pristine_hook_counts = (
+            len(self.tracker._listeners),
+            tuple(len(d._trackers) for d in self._single_devices()),
+            len(self.timer_activity._trackers),
+            len(self.platform.mcu._power_listeners),
+        )
+
+    # -- warm start -------------------------------------------------------
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Return the whole node to its post-construction state so the
+        next boot replays a fresh run — the warm-start protocol.
+
+        A sweep worker constructs one node per experiment configuration
+        and calls ``reset(seed)`` per grid point instead of rebuilding
+        the world.  The reset re-keys every rng stream in place, replays
+        the seed-dependent construction steps (per-device draw variation),
+        zeroes all dynamic state down to the hardware models, and drops
+        anything a previous run registered (application activities,
+        harness observers).  ``tests/test_warm_start.py`` proves reset ≡
+        rebuild digest-for-digest; that equivalence is the contract every
+        layer's ``reset()`` implements.
+
+        Only supported for a standalone node: a node attached to a radio
+        channel shares state with the rest of its network and must be
+        rebuilt with it.
+        """
+        if self.channel is not None:
+            raise RuntimeError(
+                "cannot warm-reset a networked node; rebuild the network")
+        self.sim.reset()
+        self.rng.reseed(seed if seed is not None else self.rng.master_seed)
+        self.platform.reset()
+        self.registry.restore_state(self._pristine_registry)
+        listeners, device_trackers, multi_trackers, power_listeners = \
+            self._pristine_hook_counts
+        del self.tracker._listeners[listeners:]
+        for device, count in zip(self._single_devices(), device_trackers):
+            del device._trackers[count:]
+        del self.timer_activity._trackers[multi_trackers:]
+        del self.platform.mcu._power_listeners[power_listeners:]
+        for var in self.tracker.all_vars():
+            var.reset()
+        for device in self._single_devices():
+            device.reset(self.idle)
+        self.timer_activity.reset()
+        self.logger.reset()
+        self.interrupts.reset()
+        self.scheduler.reset()
+        self.vtimers.reset()
+        self.bus_arbiter.reset()
+        self.flash.reset()
+        self.sensor.reset()
+        if self.counters is not None:
+            self.counters.reset()
+        self._booted = False
+        self._log_end_mark_ns = -1
+        self._columnar_cache = None
 
     # -- boot ------------------------------------------------------------
 
@@ -423,6 +485,35 @@ class QuantoNode:
             weighting=weighting,
             strict=strict,
         )
+
+    def breakdown(
+        self,
+        fold_proxies: bool = False,
+        weighting: str = "sqrt_et",
+        backend: Optional[str] = None,
+    ) -> tuple[RegressionResult, EnergyMap]:
+        """Regression + energy map off one shared reconstruction — the
+        per-point analysis path experiments should use.
+
+        On the columnar backend (the default) both consumers read the
+        memoized :meth:`columnar_timeline` — one ``np.frombuffer`` decode
+        for the whole analysis, no per-entry objects.  On the streaming
+        backend one :class:`TimelineBuilder` is built and passed to both,
+        so neither path ever decodes the log twice.  Output is
+        bit-identical either way (the backend contract).
+        """
+        if resolve_analysis_backend(backend) == "columnar":
+            regression = self.regression(weighting=weighting,
+                                         backend="columnar")
+            return regression, self.energy_map(
+                regression=regression, fold_proxies=fold_proxies,
+                backend="columnar")
+        timeline = self.timeline()
+        regression = self.regression(timeline, weighting=weighting,
+                                     backend="streaming")
+        return regression, self.energy_map(
+            timeline, regression, fold_proxies=fold_proxies,
+            backend="streaming")
 
     def energy_map(
         self,

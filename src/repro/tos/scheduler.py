@@ -53,6 +53,13 @@ class Scheduler:
         self.tasks_posted = 0
         self.tasks_run = 0
 
+    def reset(self) -> None:
+        """Warm-start reset: zero the tallies.  Queued jobs live in the
+        MCU queues (reset separately); :class:`Task` singletons belong to
+        applications, which are rebuilt per run."""
+        self.tasks_posted = 0
+        self.tasks_run = 0
+
     def post(self, task: Task) -> bool:
         """Post a task; returns False if it was already queued (TinyOS
         semantics).  The poster's activity is captured here."""

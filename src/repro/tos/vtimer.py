@@ -183,3 +183,10 @@ class VirtualTimerSystem:
 
     def active_timers(self) -> int:
         return sum(1 for t in self._timers if t.running)
+
+    def reset(self) -> None:
+        """Warm-start reset: drop every logical timer and the dispatch
+        tally.  The compare unit and its interrupt wiring survive (the
+        unit itself is reset with its timer block)."""
+        self._timers.clear()
+        self.dispatches = 0

@@ -387,7 +387,9 @@ def test_stale_timeline_snapshot_matches_streaming():
 
 def test_backend_resolution(monkeypatch):
     monkeypatch.delenv("REPRO_ANALYSIS_BACKEND", raising=False)
-    assert resolve_analysis_backend() == "streaming"
+    # Columnar is the default since the sweep-throughput overhaul (PR 5);
+    # bit-identity makes the default invisible to every result.
+    assert resolve_analysis_backend() == "columnar"
     assert resolve_analysis_backend("columnar") == "columnar"
     monkeypatch.setenv("REPRO_ANALYSIS_BACKEND", "columnar")
     assert resolve_analysis_backend() == "columnar"

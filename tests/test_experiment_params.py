@@ -90,3 +90,17 @@ def test_direct_run_keeps_clean_header():
     module = load_experiment("table1")
     result = module.run()
     assert "params:" not in result.render().splitlines()[1]
+
+
+def test_override_memo_preserves_each_callers_key_order():
+    """Parsed overrides are memoized per (experiment, values) with a
+    sorted key — but result.params must follow each call's own override
+    order, warm memo or cold parse alike (the rendered header, and any
+    digest of it, would otherwise depend on process history)."""
+    duration = str(seconds(4))
+    first = run_experiment("table3", overrides={
+        "device_variation": "0.02", "duration_ns": duration})
+    second = run_experiment("table3", overrides={
+        "duration_ns": duration, "device_variation": "0.02"})
+    assert list(first.params) == ["seed", "device_variation", "duration_ns"]
+    assert list(second.params) == ["seed", "duration_ns", "device_variation"]

@@ -1,0 +1,165 @@
+"""Shard partitioning and the shard/merge determinism contract.
+
+The multi-machine campaign story: N machines each run
+``sweep <id> --shard i/N --cache-dir <own dir>`` against one spec, then
+``merge-sweeps`` folds the stores.  Gated here:
+
+* the partition is exact — every grid point lands in exactly one shard,
+  shards never overlap, their union is the grid;
+* the merged result is **byte-identical** to the unsharded run — same
+  aggregates, same per-point digests, same sweep digest;
+* merging the same stores in any directory order gives the same bytes;
+* strict mode refuses a merge with missing coverage instead of quietly
+  simulating the gap.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SweepError
+from repro.sim.sweep import (
+    expand_grid,
+    merge_sweeps,
+    parse_shard,
+    run_sweep,
+    shard_points,
+)
+from repro.units import seconds
+
+SHORT = str(seconds(8))
+OVERRIDES = {"duration_ns": [SHORT], "device_variation": ["0.02"]}
+
+
+# -- partition -------------------------------------------------------------
+
+
+def test_every_point_lands_in_exactly_one_shard():
+    grid = expand_grid("table3", range(7), OVERRIDES)
+    for count in (1, 2, 3, 7, 5):
+        shards = [shard_points(grid, i, count) for i in range(count)]
+        seen = [point for shard in shards for point in shard]
+        assert sorted(seen, key=grid.index) == grid  # union, no dupes
+        assert sum(len(s) for s in shards) == len(grid)
+
+
+def test_shard_partition_is_deterministic_round_robin():
+    grid = expand_grid("table3", range(6), OVERRIDES)
+    assert shard_points(grid, 0, 3) == grid[0::3]
+    assert shard_points(grid, 2, 3) == grid[2::3]
+    # A shard of one is the whole grid.
+    assert shard_points(grid, 0, 1) == grid
+
+
+def test_parse_shard_specs():
+    assert parse_shard("0/4") == (0, 4)
+    assert parse_shard("3/4") == (3, 4)
+    for bad in ("4/4", "-1/4", "1", "a/b", "1/0", "/"):
+        with pytest.raises(SweepError):
+            parse_shard(bad)
+
+
+def test_bad_shard_rejected_by_runner():
+    with pytest.raises(SweepError):
+        run_sweep("table3", [0], OVERRIDES, shard=(2, 2))
+
+
+# -- merge ------------------------------------------------------------------
+
+
+def test_sharded_then_merged_is_byte_identical_to_unsharded(tmp_path):
+    """The acceptance criterion: shard the grid over two stores, merge,
+    and compare everything against the single-machine run."""
+    unsharded = run_sweep("table3", range(4), OVERRIDES, jobs=1)
+    dirs = [tmp_path / "m0", tmp_path / "m1"]
+    for index, directory in enumerate(dirs):
+        shard = run_sweep("table3", range(4), OVERRIDES, jobs=1,
+                          cache_dir=directory, shard=(index, 2))
+        assert len(shard.points) == 2
+        assert shard.shard == (index, 2)
+        assert shard.grid_points == 4
+    merged = merge_sweeps("table3", range(4), OVERRIDES, cache_dirs=dirs,
+                          strict=True)
+    assert merged.digest() == unsharded.digest()
+    assert merged.metrics == unsharded.metrics
+    assert merged.comparisons == unsharded.comparisons
+    assert [p.digest for p in merged.points] == \
+        [p.digest for p in unsharded.points]
+    assert merged.cache_hits == 4 and merged.simulated == 0
+
+
+def test_merge_is_order_independent(tmp_path):
+    dirs = [tmp_path / "m0", tmp_path / "m1", tmp_path / "m2"]
+    for index, directory in enumerate(dirs):
+        run_sweep("table3", range(3), OVERRIDES, jobs=1,
+                  cache_dir=directory, shard=(index, 3))
+    forward = merge_sweeps("table3", range(3), OVERRIDES,
+                           cache_dirs=dirs, strict=True)
+    backward = merge_sweeps("table3", range(3), OVERRIDES,
+                            cache_dirs=list(reversed(dirs)), strict=True)
+    assert forward.digest() == backward.digest()
+    assert forward.metrics == backward.metrics
+    assert forward.render().splitlines()[0] == \
+        backward.render().splitlines()[0]
+
+
+def test_strict_merge_refuses_missing_coverage(tmp_path):
+    run_sweep("table3", range(4), OVERRIDES, jobs=1,
+              cache_dir=tmp_path / "m0", shard=(0, 2))
+    # Shard 1/2 never ran: strict merge must name the gap.
+    with pytest.raises(SweepError) as excinfo:
+        merge_sweeps("table3", range(4), OVERRIDES,
+                     cache_dirs=[tmp_path / "m0"], strict=True)
+    assert "missing" in str(excinfo.value)
+
+
+def test_lenient_merge_simulates_the_gap_and_backfills(tmp_path):
+    run_sweep("table3", range(2), OVERRIDES, jobs=1,
+              cache_dir=tmp_path / "m0", shard=(0, 2))
+    merged = merge_sweeps("table3", range(2), OVERRIDES,
+                          cache_dirs=[tmp_path / "m0"])
+    assert (merged.cache_hits, merged.simulated) == (1, 1)
+    assert merged.digest() == run_sweep("table3", range(2), OVERRIDES).digest()
+    # The simulated point was written back: a re-merge is all hits.
+    again = merge_sweeps("table3", range(2), OVERRIDES,
+                         cache_dirs=[tmp_path / "m0"], strict=True)
+    assert (again.cache_hits, again.simulated) == (2, 0)
+
+
+def test_merge_needs_at_least_one_dir():
+    with pytest.raises(SweepError):
+        merge_sweeps("table3", [0], OVERRIDES, cache_dirs=[])
+
+
+def test_shard_header_renders_slice(tmp_path):
+    result = run_sweep("table3", range(4), OVERRIDES, jobs=1, shard=(1, 2))
+    assert "-- shard: 1/2 (2 of 4 grid points)" in result.render()
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_shard_and_merge_roundtrip(tmp_path, capsys):
+    spec = ["table3", "--seeds", "2", "--set", f"duration_ns={SHORT}"]
+    assert main(["sweep", *spec]) == 0
+    want = capsys.readouterr().out
+    for index in range(2):
+        directory = tmp_path / f"m{index}"
+        assert main(["sweep", *spec, "--shard", f"{index}/2",
+                     "--cache-dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert f"-- shard: {index}/2 (1 of 2 grid points)" in out
+    assert main(["merge-sweeps", *spec, "--strict",
+                 "--cache-dir", str(tmp_path / "m0"),
+                 "--cache-dir", str(tmp_path / "m1")]) == 0
+    merged = capsys.readouterr().out
+
+    def digest_line(text):
+        return next(line for line in text.splitlines()
+                    if "sweep digest" in line)
+
+    assert digest_line(merged) == digest_line(want)
+
+
+def test_cli_bad_shard_spec_fails_cleanly(capsys):
+    assert main(["sweep", "table3", "--seeds", "1", "--shard", "9"]) == 2
+    assert "shard" in capsys.readouterr().err

@@ -1,7 +1,5 @@
 """The digest-keyed sweep cache and the streaming aggregation path."""
 
-import json
-
 import pytest
 
 from repro.cli import main
@@ -54,13 +52,58 @@ def test_cached_and_uncached_aggregates_agree(tmp_path):
 
 
 def test_corrupt_cache_entry_misses_and_reruns(tmp_path):
+    """A torn shard tail (the crash-mid-append case) drops exactly the
+    incomplete record: the point misses, is re-simulated, and the rerun
+    appends a fresh record that future runs hit."""
     run_sweep("table3", [0], OVERRIDES, jobs=1, cache_dir=tmp_path)
-    (entry,) = list(tmp_path.rglob("*.json"))
-    entry.write_text("{ not json")
+    (shard,) = list(tmp_path.rglob("*.shard"))
+    blob = shard.read_bytes()
+    shard.write_bytes(blob[:-10])  # tear the record mid-payload
+    (index,) = list(tmp_path.rglob("*.idx"))
+    index.unlink()  # stale accelerator: force the recovery scan
     result = run_sweep("table3", [0], OVERRIDES, jobs=1, cache_dir=tmp_path)
     assert (result.cache_hits, result.simulated) == (0, 1)
-    # The rerun repaired the entry.
-    assert json.loads(entry.read_text())["digest"] == result.points[0].digest
+    # The rerun appended a complete record (last write wins).
+    rerun = run_sweep("table3", [0], OVERRIDES, jobs=1, cache_dir=tmp_path)
+    assert (rerun.cache_hits, rerun.simulated) == (1, 0)
+    assert rerun.points[0].digest == result.points[0].digest
+
+
+def test_garbled_shard_magic_is_a_full_miss(tmp_path):
+    run_sweep("table3", [0], OVERRIDES, jobs=1, cache_dir=tmp_path)
+    (shard,) = list(tmp_path.rglob("*.shard"))
+    shard.write_bytes(b"not a shard store" + shard.read_bytes())
+    (index,) = list(tmp_path.rglob("*.idx"))
+    index.unlink()
+    result = run_sweep("table3", [0], OVERRIDES, jobs=1, cache_dir=tmp_path)
+    assert (result.cache_hits, result.simulated) == (0, 1)
+
+
+def test_missing_index_is_rebuilt_from_the_shard(tmp_path):
+    """The .idx file is purely derived: deleting it costs one recovery
+    scan, never a cache miss."""
+    run_sweep("table3", range(2), OVERRIDES, jobs=1, cache_dir=tmp_path)
+    (index,) = list(tmp_path.rglob("*.idx"))
+    index.unlink()
+    result = run_sweep("table3", range(2), OVERRIDES, jobs=1,
+                       cache_dir=tmp_path)
+    assert (result.cache_hits, result.simulated) == (2, 0)
+    assert index.is_file()  # rewritten by the recovery scan
+
+
+def test_stale_index_after_external_append_scans_the_tail(tmp_path):
+    """An index that covers only a prefix of the shard (writer crashed
+    between the payload and index appends) is topped up by scanning the
+    tail, not discarded."""
+    run_sweep("table3", range(2), OVERRIDES, jobs=1, cache_dir=tmp_path)
+    (index,) = list(tmp_path.rglob("*.idx"))
+    from repro.sim.shardstore import INDEX_MAGIC, INDEX_ROW
+
+    blob = index.read_bytes()
+    index.write_bytes(blob[: len(INDEX_MAGIC) + INDEX_ROW.size])
+    result = run_sweep("table3", range(2), OVERRIDES, jobs=1,
+                       cache_dir=tmp_path)
+    assert (result.cache_hits, result.simulated) == (2, 0)
 
 
 def test_point_key_binds_to_source_fingerprint(monkeypatch):

@@ -129,7 +129,7 @@ def test_vtimer_activity_charged_for_dispatch(node, sim):
     assert vtimer_time > 0
 
 
-def test_blink_schedules_o_wakeups_not_o_ticks():
+def test_blink_schedules_o_wakeups_not_o_ticks(monkeypatch):
     """The timer subsystem multiplexes all virtual timers onto one
     compare arm per wakeup: a Blink run's engine event count must scale
     with *wakeups* (a few per LED toggle), never with the underlying
@@ -138,6 +138,10 @@ def test_blink_schedules_o_wakeups_not_o_ticks():
     from repro.experiments.common import run_blink
     from repro.units import seconds
 
+    # Both worlds must stay live side by side: same-configuration calls
+    # share one warm world (the second run_blink would reset the first
+    # run's node/sim), so force cold constructions for this comparison.
+    monkeypatch.setenv("REPRO_WARM_START", "0")
     node8, _, sim8 = run_blink(0, duration_ns=seconds(8))
     node48, _, sim48 = run_blink(0, duration_ns=seconds(48))
     # A 48 s Blink has ~48 timer wakeups; a handful of events each.
