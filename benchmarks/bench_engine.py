@@ -12,6 +12,10 @@ have a machine-readable baseline:
   (``streaming`` vs ``columnar``), plus ``analysis_speedup_columnar``;
   the two maps are asserted bit-identical before any speedup is
   reported;
+* ``windowed_entries_per_sec`` — live-path throughput (chunked
+  ``WireDecoder`` feeding a ``WindowedAccumulator`` at a 1 s stride),
+  the per-node cost of the ingest server; the folded windows are
+  asserted bit-identical to the offline map first;
 * ``sweep_points_per_sec_serial`` — end-to-end table3 points per second
   on the 64-point reference grid (the number the regression gate
   watches);
@@ -170,6 +174,60 @@ def bench_analysis(rounds: int = 20) -> dict:
     }
 
 
+def bench_windowed(rounds: int = 20) -> dict:
+    """Live-path throughput: chunked wire decode feeding the windowed
+    accumulator — the per-node work the ingest server performs.  Each
+    round replays the packed Blink log in 1021-byte chunks (a prime, so
+    entry boundaries drift through every offset) through a fresh
+    :class:`WireDecoder` + :class:`WindowedAccumulator` at a 1 s stride,
+    and the folded windows are asserted bit-identical to the offline
+    streaming map before any number is published."""
+    from repro.core.accounting import (
+        WindowedAccumulator,
+        fold_windows,
+        stream_energy_map,
+    )
+    from repro.core.logger import WireDecoder
+
+    raw, args, kwargs = _analysis_workload()
+    entry_count = len(raw) // 12
+    windowed_kwargs = {k: v for k, v in kwargs.items()
+                       if k != "fold_proxies"}
+    stride_ns = int(seconds(1))
+    chunk = 1021
+
+    def run_windowed():
+        accumulator = WindowedAccumulator(
+            *args, stride_ns=stride_ns, retain=None, **windowed_kwargs)
+        decoder = WireDecoder()
+        for offset in range(0, len(raw), chunk):
+            for entry in decoder.feed(raw[offset:offset + chunk]):
+                accumulator.feed(entry)
+        decoder.finish()
+        accumulator.finish()
+        return accumulator
+
+    reference = stream_energy_map(iter_entries(raw), *args, **kwargs)
+    folded = fold_windows(list(run_windowed().windows))
+    assert list(folded.energy_j) == list(reference.energy_j) \
+        and folded.energy_j == reference.energy_j, \
+        "windowed fold diverged from batch — fix before benchmarking"
+
+    samples: list[float] = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _round in range(rounds):
+            run_windowed()
+        wall = time.perf_counter() - start
+        samples.append(entry_count * rounds / wall)
+    median, spread = _median_spread(samples)
+    return {
+        "windowed_entries_per_sec": round(median),
+        "windowed_entries_per_sec_spread": round(spread, 3),
+        "windowed_stride_ns": stride_ns,
+    }
+
+
 def bench_sweep_grid() -> tuple[float, float, str]:
     """Serial points/sec and jobs=2 speedup on the 64-point grid."""
     serial = run_sweep("table3", SWEEP_SEEDS, SWEEP_OVERRIDES, jobs=1)
@@ -205,6 +263,7 @@ def run_benchmarks() -> dict:
     events_median, events_spread = _median_spread(
         [bench_engine_events() for _ in range(REPEATS)])
     analysis = bench_analysis()
+    windowed = bench_windowed()
     points_samples: list[float] = []
     speedup_samples: list[float] = []
     digest = None
@@ -234,6 +293,7 @@ def run_benchmarks() -> dict:
         "cpu_count": os.cpu_count(),
     }
     numbers.update(analysis)
+    numbers.update(windowed)
     return numbers
 
 
@@ -311,6 +371,8 @@ def test_engine_bench_smoke():
     assert analysis["log_entry_count"] > 0
     assert analysis["analysis_entries_per_sec"]["streaming"] > 0
     assert analysis["analysis_entries_per_sec"]["columnar"] > 0
+    windowed = bench_windowed(rounds=2)
+    assert windowed["windowed_entries_per_sec"] > 0
 
 
 if __name__ == "__main__":

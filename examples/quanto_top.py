@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
 """An always-on energy profiler: quanto-top (paper §5.3).
 
-Runs the sense-and-send workload with online counters and a periodic
-sampler, printing a `top`-style screen every few simulated seconds — no
-log, no offline pass, constant memory.  Note the profiler accounting for
-itself under the ``1:Quanto`` activity, like Unix top showing its own
-CPU usage.
+Two modes:
+
+* **In-process** (default): runs the sense-and-send workload with online
+  counters and a periodic sampler, printing a `top`-style screen every
+  few simulated seconds — no log, no offline pass, constant memory.
+  Note the profiler accounting for itself under the ``1:Quanto``
+  activity, like Unix top showing its own CPU usage.
+* **Client** (``--server ADDR``): the same workload, but the breakdowns
+  come from a live ingest server (``python -m repro serve``).  The node
+  streams its packed log over the socket in small chunks; between
+  chunks the client queries the server's windowed accumulator and
+  renders the *server's* live view — the breakdown a fleet operator
+  would watch, attributed off-node while the stream is still in flight.
 """
+
+import argparse
+import asyncio
 
 from repro import NodeConfig, QuantoNode, Simulator
 from repro.apps.sense_send import SenseAndSendApp
+from repro.core.report import format_table
 from repro.core.topq import QuantoTop
 from repro.sim.rng import RngFactory
-from repro.units import seconds
+from repro.units import seconds, to_mj
 
 
-def main() -> None:
+def main_inprocess(duration_s: int) -> None:
     sim = Simulator()
     node = QuantoNode(sim, NodeConfig(node_id=1, enable_counters=True),
                       rng_factory=RngFactory(0))
@@ -27,7 +39,8 @@ def main() -> None:
         top.start()
 
     node.boot(start)
-    for checkpoint in (8, 16, 24):
+    step = max(1, duration_s // 3)
+    for checkpoint in range(step, duration_s + 1, step):
         sim.run(until=seconds(checkpoint))
         print(f"--- t = {checkpoint} s ---")
         print(top.render())
@@ -35,6 +48,101 @@ def main() -> None:
     print(f"samples taken by the app: {app.samples_taken}; "
           f"top refreshes: {len(top.samples)}; "
           f"memory for counters: {node.counters.memory_bytes()} bytes")
+
+
+def _render_breakdown(reply: dict, title: str) -> str:
+    """A top-style per-activity table from a server breakdown reply
+    (energy triples -> activity totals, largest first)."""
+    by_activity: dict[str, float] = {}
+    for _component, activity, joules in reply["energy_j"]:
+        by_activity[activity] = by_activity.get(activity, 0.0) + joules
+    if not by_activity:  # nothing attributed yet (no interval closed)
+        return f"{title}\n  (warming up: no power interval closed yet)"
+    rows = [(activity, f"{to_mj(joules):.2f}")
+            for activity, joules in sorted(by_activity.items(),
+                                           key=lambda kv: -kv[1])]
+    return format_table(("activity", "E (mJ)"), rows, title=title)
+
+
+def main_client(server: str, duration_s: int, stride_s: float,
+                refreshes: int) -> None:
+    from repro.serve import final_map, parse_address, query, stream_node
+
+    address = parse_address(server)
+    sim = Simulator()
+    node = QuantoNode(sim, NodeConfig(node_id=1),
+                      rng_factory=RngFactory(0))
+    app = SenseAndSendApp(period_ns=seconds(3), send=False)
+    node.boot(app.start)
+    sim.run(until=seconds(duration_s))
+
+    async def run() -> None:
+        shown = 0
+
+        async def on_chunk(sent: int, total: int) -> None:
+            nonlocal shown
+            due = sent * refreshes // total
+            if due <= shown or sent == total:
+                return
+            shown = due
+            reply = await query(address,
+                                {"cmd": "breakdown", "node_id": 1})
+            state = "live" if reply.get("live") else "final"
+            print(_render_breakdown(
+                reply, f"server view ({state}), "
+                       f"{sent}/{total} bytes streamed"))
+            print()
+
+        # Tiny chunks on purpose: many partial-entry boundaries, many
+        # chances to watch the server's view advance mid-stream.
+        reply = await stream_node(address, node,
+                                  stride_ns=int(seconds(stride_s)),
+                                  chunk_size=97, on_chunk=on_chunk)
+        emap = final_map(reply)
+        rows = [(name, f"{to_mj(e):.2f}")
+                for name, e in sorted(emap.energy_by_activity().items(),
+                                      key=lambda kv: -kv[1])]
+        print(format_table(
+            ("activity", "E (mJ)"), rows,
+            title=f"final folded map from server "
+                  f"({reply['windows']} windows)"))
+        # A server run with --expect-nodes may shut down right after the
+        # final ingest reply above; this extra query is display garnish,
+        # so a vanished server just skips it.
+        try:
+            windows = await query(address, {"cmd": "windows",
+                                            "node_id": 1, "last": 3})
+        except (ConnectionError, OSError):
+            windows = None
+        if windows is not None:
+            print(f"\nlast windows: " + ", ".join(
+                f"[{w['index']}] {w['intervals']} intervals"
+                + (" (final)" if w["final"] else "")
+                for w in windows["windows"]))
+        print(f"accounting error {emap.accounting_error * 100:.4f} %")
+
+    asyncio.run(run())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--server", metavar="ADDR", default=None,
+                        help="render live breakdowns from an ingest "
+                             "server at ADDR (host:port or unix:/path) "
+                             "instead of in-process counters")
+    parser.add_argument("--seconds", type=int, default=24,
+                        help="simulated workload duration (default 24)")
+    parser.add_argument("--stride", type=float, default=2.0,
+                        help="window stride in seconds for --server "
+                             "mode (default 2)")
+    parser.add_argument("--refreshes", type=int, default=3,
+                        help="live screens to render while streaming "
+                             "(default 3)")
+    args = parser.parse_args()
+    if args.server is None:
+        main_inprocess(args.seconds)
+    else:
+        main_client(args.server, args.seconds, args.stride, args.refreshes)
 
 
 if __name__ == "__main__":

@@ -13,7 +13,10 @@ Layers, bottom up:
   assembly).
 * :mod:`repro.core` — Quanto itself: activity labels and devices, power
   state tracking, the 12-byte logger, the energy-breakdown regression,
-  the energy map, online counters, and network-wide merging.
+  the energy map, windowed (online) accounting, online counters, and
+  network-wide merging.
+* :mod:`repro.serve` — the live ingest server: framed node streams
+  decoded incrementally into windowed accumulators, queryable mid-run.
 * :mod:`repro.apps` — the paper's workloads (Blink, Bounce, sense-and-
   send, LPL, the timer leak, the DMA comparison, a flood).
 * :mod:`repro.experiments` — one module per table/figure of the paper's
@@ -38,7 +41,13 @@ from repro.sim.rng import RngFactory
 from repro.core.labels import ActivityLabel, ActivityRegistry
 from repro.core.activity import MultiActivityDevice, SingleActivityDevice
 from repro.core.powerstate import PowerStateTracker, PowerStateVar
-from repro.core.logger import LogEntry, QuantoLogger, decode_log, iter_entries
+from repro.core.logger import (
+    LogEntry,
+    QuantoLogger,
+    WireDecoder,
+    decode_log,
+    iter_entries,
+)
 from repro.core.regression import (
     RegressionResult,
     SinkColumn,
@@ -48,7 +57,10 @@ from repro.core.timeline import TimelineBuilder, TimelineStream
 from repro.core.accounting import (
     EnergyAccumulator,
     EnergyMap,
+    WindowSnapshot,
+    WindowedAccumulator,
     build_energy_map,
+    fold_windows,
     stream_energy_map,
 )
 from repro.core.counters import CounterAccountant
@@ -72,6 +84,7 @@ __all__ = [
     "LogEntry",
     "decode_log",
     "iter_entries",
+    "WireDecoder",
     "SinkColumn",
     "RegressionResult",
     "solve_breakdown",
@@ -81,6 +94,9 @@ __all__ = [
     "build_energy_map",
     "stream_energy_map",
     "EnergyAccumulator",
+    "WindowedAccumulator",
+    "WindowSnapshot",
+    "fold_windows",
     "CounterAccountant",
     "NetworkEnergyReport",
     "merge_energy_maps",

@@ -18,7 +18,10 @@ Commands:
   to an unsharded run over the same grid;
 * ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
   full energy map (optionally the raw log dump);
-* ``validate [--seed N]`` — run Blink and lint its log.
+* ``validate [--seed N]`` — run Blink and lint its log;
+* ``serve [--listen ADDR ...]`` — run the live ingest server: nodes
+  stream their packed logs in, the server accounts them into windowed
+  breakdowns online and answers live queries (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.errors import ExperimentParameterError, SweepError
+from repro.errors import ExperimentParameterError, ServeError, SweepError
 from repro.experiments import EXPERIMENT_IDS, load_experiment, run_experiment
 
 
@@ -187,6 +190,39 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import IngestServer
+    from repro.serve.protocol import parse_address
+
+    async def run() -> None:
+        server = IngestServer(retain=args.retain,
+                              queue_depth=args.queue_depth)
+        for spec in args.listen or ["127.0.0.1:7117"]:
+            address = parse_address(spec)
+            if isinstance(address, str):
+                await server.start_unix(address)
+                print(f"listening on unix:{address}", flush=True)
+            else:
+                host, port = await server.start_tcp(*address)
+                # Echo the bound port: --listen :0 picks an ephemeral
+                # one, and scripts need to learn it.
+                print(f"listening on {host}:{port}", flush=True)
+        try:
+            await server.serve_forever(stop_after=args.expect_nodes)
+        finally:
+            await server.close()
+        if args.expect_nodes:
+            print(f"served {server.completed} node streams")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,6 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate", help="lint a Blink run's log")
     p_val.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the live windowed-accounting ingest server")
+    p_serve.add_argument("--listen", action="append", metavar="ADDR",
+                         help="listen address: host:port, :port, or "
+                              "unix:/path (repeatable; default "
+                              "127.0.0.1:7117; port 0 picks one and "
+                              "prints it)")
+    p_serve.add_argument("--retain", type=int, default=64,
+                         help="window snapshots kept per node for the "
+                              "windows query (default 64)")
+    p_serve.add_argument("--queue-depth", type=int, default=32,
+                         help="chunks buffered per node stream before "
+                              "backpressure (default 32)")
+    p_serve.add_argument("--expect-nodes", type=int, default=None,
+                         metavar="N",
+                         help="exit once N node streams have completed "
+                              "(default: serve until interrupted)")
     return parser
 
 
@@ -283,10 +337,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "merge-sweeps": _cmd_merge_sweeps,
         "blink": _cmd_blink,
         "validate": _cmd_validate,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)
-    except (ExperimentParameterError, SweepError) as exc:
+    except (ExperimentParameterError, SweepError, ServeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

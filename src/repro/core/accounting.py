@@ -60,7 +60,7 @@ from repro.core.timeline import (
     TimelineBuilder,
     TimelineStream,
 )
-from repro.errors import AnalysisBackendError, RegressionError
+from repro.errors import AnalysisBackendError, RegressionError, WindowingError
 
 #: Pseudo-activity for the constant (baseline) draw, as in Table 3.
 CONST_KEY = "Const."
@@ -715,6 +715,290 @@ class EnergyAccumulator:
             self._pulses_total * self.energy_per_pulse_j
         )
         return self.map
+
+
+# -- windowed (online) accounting -------------------------------------------
+
+
+@dataclass
+class WindowSnapshot:
+    """One closed accounting window: the stride's *delta* breakdown for
+    display, plus the exact cumulative running sums up to the window's
+    close.
+
+    The deltas (``energy_j`` / ``time_ns``) are what a live dashboard
+    renders: "energy this window, by (component, activity)".  They are
+    computed by subtracting successive cumulative values, which is exact
+    for the integer time sums but — like any float subtraction — not
+    information-preserving for energy.  The cumulative dicts are
+    therefore carried verbatim: they are the accumulator's own running
+    sums (the identical IEEE-754 add sequence the batch path performs),
+    which is what makes :func:`fold_windows` byte-identical to
+    :func:`build_energy_map` instead of merely close.
+    """
+
+    #: Stride index relative to the window origin (0-based).
+    index: int
+    #: Window bounds; ``t1_ns`` of the final window is the analysis end,
+    #: not the stride boundary.
+    t0_ns: int
+    t1_ns: int
+    #: Power intervals charged during this stride.
+    intervals: int
+    #: This stride's per-(component, activity) energy / busy-time deltas
+    #: (zero-valued keys omitted; display-quality floats).
+    energy_j: dict[tuple[str, str], float]
+    time_ns: dict[tuple[str, str], int]
+    #: Exact running sums at window close — same float bits and dict
+    #: insertion order as the batch map built from the same prefix.
+    cumulative_energy_j: dict[tuple[str, str], float]
+    cumulative_time_ns: dict[tuple[str, str], int]
+    #: Cumulative totals at window close.
+    reconstructed_energy_j: float
+    metered_energy_j: float
+    span_ns: int
+    #: True for the snapshot emitted by :meth:`WindowedAccumulator.finish`
+    #: (it absorbs the tail re-cover and the final time fold).
+    final: bool = False
+
+
+def fold_windows(snapshots: Sequence[WindowSnapshot]) -> EnergyMap:
+    """Collapse an emitted window sequence back into one
+    :class:`EnergyMap`.
+
+    Because every snapshot carries the accumulator's exact cumulative
+    sums, the fold is simply the last window's cumulative state — no
+    re-adding of per-window deltas (which would change the float-add
+    order).  Folding the full sequence emitted by a finished
+    :class:`WindowedAccumulator` therefore reproduces
+    :func:`build_energy_map` bit-for-bit: same float bits, same dict
+    insertion order.
+    """
+    if not snapshots:
+        raise WindowingError("cannot fold an empty window sequence")
+    last = snapshots[-1]
+    return EnergyMap(
+        time_ns=dict(last.cumulative_time_ns),
+        energy_j=dict(last.cumulative_energy_j),
+        metered_energy_j=last.metered_energy_j,
+        reconstructed_energy_j=last.reconstructed_energy_j,
+        span_ns=last.span_ns,
+    )
+
+
+class WindowedAccumulator(EnergyAccumulator):
+    """Online accounting: the streaming accumulator, sliced into
+    tumbling windows as entries arrive.
+
+    Time is divided into ``stride_ns``-wide strides anchored at
+    ``origin_ns`` (default: the first power interval's start).  The
+    accounting quantum is the power interval — an interval is charged to
+    the stride containing its start, so strides partition the intervals
+    without splitting any (splitting would change the float-add order
+    and break the fold contract).  When the interval starts cross a
+    stride boundary the open window closes: a :class:`WindowSnapshot` is
+    appended to :attr:`windows` (a deque bounded by ``retain``) and
+    passed to ``on_window`` if given.  :meth:`finish` closes the last,
+    partial window; its snapshot absorbs the deferred tail re-cover and
+    carries the finished map's exact state.
+
+    Memory stays bounded by the stream's open spans plus ``retain``
+    snapshots of the (component, activity) key set — independent of log
+    length, like the parent.
+
+    Windowing requires eager charging, so proxy folding (inherently
+    retrospective — a bind can reattribute arbitrarily old segments) is
+    not supported; the parent is always constructed with
+    ``fold_proxies=False``.
+
+    Sliding windows are views, not extra state: :meth:`sliding` merges
+    the last ``width/stride`` retained snapshots.
+    """
+
+    def __init__(
+        self,
+        regression: RegressionResult,
+        registry: ActivityRegistry,
+        component_names: dict[int, str],
+        energy_per_pulse_j: float,
+        *,
+        stride_ns: int,
+        idle_name: str = "Idle",
+        single_res_ids: Optional[Iterable[int]] = None,
+        multi_res_ids: Optional[Iterable[int]] = None,
+        end_time_ns: Optional[int] = None,
+        origin_ns: Optional[int] = None,
+        retain: Optional[int] = 64,
+        on_window=None,
+    ) -> None:
+        if stride_ns <= 0:
+            raise WindowingError(
+                f"window stride must be positive, got {stride_ns}"
+            )
+        super().__init__(
+            regression, registry, component_names, energy_per_pulse_j,
+            fold_proxies=False, idle_name=idle_name,
+            single_res_ids=single_res_ids, multi_res_ids=multi_res_ids,
+            end_time_ns=end_time_ns,
+        )
+        self.stride_ns = int(stride_ns)
+        self.on_window = on_window
+        #: Closed windows, oldest first, bounded by ``retain`` (None
+        #: retains everything — batch-replay use only).
+        self.windows: deque[WindowSnapshot] = deque(maxlen=retain)
+        #: Total windows closed (unlike ``len(windows)``, unaffected by
+        #: the retention bound).
+        self.windows_emitted = 0
+        self._window_origin = origin_ns
+        self._window_index: Optional[int] = None
+        self._prev_energy: dict[tuple[str, str], float] = {}
+        self._prev_time: dict[tuple[str, str], int] = {}
+        self._prev_intervals = 0
+
+    # -- the stride clock ---------------------------------------------------
+
+    def _on_interval(self, interval: PowerInterval) -> None:
+        t0 = interval.t0_ns
+        if self._window_index is None:
+            if self._window_origin is None:
+                self._window_origin = t0
+            self._window_index = (t0 - self._window_origin) // self.stride_ns
+        else:
+            index = (t0 - self._window_origin) // self.stride_ns
+            # Interval starts are monotone (intervals tile), so strides
+            # close in order; a long interval can leave empty strides
+            # behind it, which still emit (zero-delta) snapshots so the
+            # window sequence is gap-free.
+            while self._window_index < index:
+                self._close_window(final=False)
+        super()._on_interval(interval)
+
+    def _fold_time(self) -> dict[tuple[str, str], int]:
+        """The cumulative busy-time breakdown from the live per-device
+        name→ns sums — the same device/name order the parent's finish
+        folds, so the final snapshot's dict matches it exactly.  Only
+        closed segments are included (an open span's label is charged
+        when it closes)."""
+        cumulative: dict[tuple[str, str], int] = {}
+        for res_id in sorted(self._time_single):
+            component = self.component_names.get(res_id, f"res{res_id}")
+            for name, dt_ns in self._time_single[res_id].items():
+                key = (component, name)
+                cumulative[key] = cumulative.get(key, 0) + dt_ns
+        for res_id in sorted(self._time_multi):
+            component = self.component_names.get(res_id, f"res{res_id}")
+            for name, dt_ns in self._time_multi[res_id].items():
+                key = (component, name)
+                cumulative[key] = cumulative.get(key, 0) + dt_ns
+        return cumulative
+
+    def _close_window(self, final: bool) -> None:
+        index = self._window_index
+        cumulative_energy = dict(self.map.energy_j)
+        # The finished map's own time fold is authoritative for the
+        # final window (it includes spans the stream just closed).
+        cumulative_time = (
+            dict(self.map.time_ns) if final else self._fold_time()
+        )
+        delta_energy: dict[tuple[str, str], float] = {}
+        previous = self._prev_energy
+        for key, value in cumulative_energy.items():
+            delta = value - previous.get(key, 0.0)
+            if delta != 0.0:
+                delta_energy[key] = delta
+        delta_time: dict[tuple[str, str], int] = {}
+        previous_t = self._prev_time
+        for key, value in cumulative_time.items():
+            delta = value - previous_t.get(key, 0)
+            if delta:
+                delta_time[key] = delta
+        t0_ns = self._window_origin + index * self.stride_ns
+        t1_ns = (self._last_interval_t1_ns if final
+                 else t0_ns + self.stride_ns)
+        snapshot = WindowSnapshot(
+            index=index,
+            t0_ns=t0_ns,
+            t1_ns=t1_ns,
+            intervals=self._intervals_seen - self._prev_intervals,
+            energy_j=delta_energy,
+            time_ns=delta_time,
+            cumulative_energy_j=cumulative_energy,
+            cumulative_time_ns=cumulative_time,
+            reconstructed_energy_j=self.map.reconstructed_energy_j,
+            metered_energy_j=self._pulses_total * self.energy_per_pulse_j,
+            span_ns=self._last_interval_t1_ns - self._span_t0_ns,
+            final=final,
+        )
+        self._prev_energy = cumulative_energy
+        self._prev_time = cumulative_time
+        self._prev_intervals = self._intervals_seen
+        self._window_index = index + 1
+        self.windows.append(snapshot)
+        self.windows_emitted += 1
+        if self.on_window is not None:
+            self.on_window(snapshot)
+
+    def finish(self) -> EnergyMap:
+        if self._finished:
+            return self.map
+        super().finish()
+        if self._window_index is not None:
+            self._close_window(final=True)
+        return self.map
+
+    # -- live views ---------------------------------------------------------
+
+    def live_breakdown(self) -> dict:
+        """The cumulative breakdown *right now*, without closing the
+        stream: what a dashboard polls between window closes.  Energy
+        values are the exact running sums; time covers closed segments."""
+        return {
+            "energy_j": dict(self.map.energy_j),
+            "time_ns": self._fold_time(),
+            "reconstructed_energy_j": self.map.reconstructed_energy_j,
+            "metered_energy_j": (
+                self._pulses_total * self.energy_per_pulse_j
+            ),
+            "span_ns": self._last_interval_t1_ns - self._span_t0_ns,
+            "intervals": self._intervals_seen,
+            "windows_emitted": self.windows_emitted,
+        }
+
+    def sliding(self, width_ns: int) -> dict:
+        """A sliding-window view: the merged deltas of the last
+        ``width_ns / stride_ns`` closed windows (display-quality floats;
+        the exactness contract lives in the cumulative sums).  Raises if
+        the width is not a stride multiple or outruns retention."""
+        if width_ns <= 0 or width_ns % self.stride_ns:
+            raise WindowingError(
+                f"sliding width {width_ns} is not a positive multiple "
+                f"of the stride {self.stride_ns}"
+            )
+        count = width_ns // self.stride_ns
+        if count > len(self.windows) and self.windows_emitted \
+                > len(self.windows):
+            raise WindowingError(
+                f"sliding window of {count} strides outruns retention "
+                f"({len(self.windows)} snapshots kept)"
+            )
+        recent = list(self.windows)[-count:]
+        energy_j: dict[tuple[str, str], float] = {}
+        time_ns: dict[tuple[str, str], int] = {}
+        intervals = 0
+        for snapshot in recent:
+            intervals += snapshot.intervals
+            for key, value in snapshot.energy_j.items():
+                energy_j[key] = energy_j.get(key, 0.0) + value
+            for key, value in snapshot.time_ns.items():
+                time_ns[key] = time_ns.get(key, 0) + value
+        return {
+            "t0_ns": recent[0].t0_ns if recent else 0,
+            "t1_ns": recent[-1].t1_ns if recent else 0,
+            "windows": len(recent),
+            "intervals": intervals,
+            "energy_j": energy_j,
+            "time_ns": time_ns,
+        }
 
 
 # -- columnar backend -------------------------------------------------------

@@ -14,6 +14,13 @@ We pack entries with ``struct`` into a real 12-byte wire format, so the
 RAM budget, field widths, and wrap-around behaviour are honoured, and the
 offline decoder has to unwrap 32-bit timestamps the way a real tool would.
 
+The packed format is also consumed **over the network**: the live ingest
+server (:mod:`repro.serve`) accepts exactly these 12-byte frames from
+streaming nodes, reassembled from arbitrary TCP chunk boundaries by
+:class:`WireDecoder` — the format is the protocol, with no extra framing
+layer.  Anything that changes :data:`ENTRY_STRUCT` therefore changes the
+wire protocol, not just the on-node RAM layout.
+
 Costs (Table 4): each synchronous record charges **102 cycles** to the CPU
 (41 call overhead + 19 timer read + 24 iCount read + 18 bookkeeping).  The
 buffer holds 800 entries by default.  Two modes:
@@ -464,6 +471,92 @@ def decode_log(raw: bytes) -> list[LogEntry]:
     """Decode a whole log at once (the batch wrapper over
     :func:`iter_entries`)."""
     return list(iter_entries(raw))
+
+
+class WireDecoder:
+    """Incremental decoder for the 12-byte wire format arriving in
+    arbitrary chunk boundaries — the network-facing form of
+    :func:`iter_entries`.
+
+    A TCP stream (or any chunked transport) cuts the packed log wherever
+    it likes: mid-entry, even mid-field.  :meth:`feed` buffers the
+    partial tail of each chunk and carries the u32 time/iCount unwrap
+    state across calls, so feeding a log in any split — one byte at a
+    time or all at once — yields exactly the entry sequence
+    :func:`iter_entries` yields for the whole buffer (same ``seq``
+    numbers, same unwrapped timestamps).  State between feeds is the
+    sub-entry remainder (< 12 bytes) plus five integers, independent of
+    how much has streamed through.
+    """
+
+    __slots__ = ("_partial", "_time_base", "_last_time", "_ic_base",
+                 "_last_ic", "_seq")
+
+    def __init__(self) -> None:
+        self._partial = b""
+        self._time_base = 0
+        self._last_time = 0
+        self._ic_base = 0
+        self._last_ic = 0
+        self._seq = 0
+
+    @property
+    def entries_decoded(self) -> int:
+        """How many entries have been yielded so far."""
+        return self._seq
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes of the incomplete trailing entry (0..11)."""
+        return len(self._partial)
+
+    def feed(self, chunk: bytes) -> list[LogEntry]:
+        """Decode every entry completed by ``chunk``; buffer the rest."""
+        buf = self._partial + bytes(chunk) if self._partial else bytes(chunk)
+        usable = len(buf) - len(buf) % ENTRY_SIZE
+        self._partial = buf[usable:]
+        if not usable:
+            return []
+        entries: list[LogEntry] = []
+        append = entries.append
+        time_base = self._time_base
+        last_time = self._last_time
+        ic_base = self._ic_base
+        last_ic = self._last_ic
+        seq = self._seq
+        for entry_type, res_id, time_us, pulses, value in \
+                ENTRY_STRUCT.iter_unpack(buf[:usable]):
+            if seq:
+                if time_us < last_time:
+                    time_base += 1 << 32
+                if pulses < last_ic:
+                    ic_base += 1 << 32
+            last_time, last_ic = time_us, pulses
+            append(LogEntry(
+                type=entry_type,
+                res_id=res_id,
+                time_us=time_base + time_us,
+                icount=ic_base + pulses,
+                value=value,
+                seq=seq,
+            ))
+            seq += 1
+        self._time_base = time_base
+        self._last_time = last_time
+        self._ic_base = ic_base
+        self._last_ic = last_ic
+        self._seq = seq
+        return entries
+
+    def finish(self) -> None:
+        """Assert the stream ended on an entry boundary.  A leftover
+        partial entry means the sender died mid-record (the torn tail a
+        crash leaves); raise so the consumer can surface it."""
+        if self._partial:
+            raise LoggerError(
+                f"stream ended with {len(self._partial)} bytes of a "
+                f"partial entry (after {self._seq} complete entries)"
+            )
 
 
 # -- columnar decode --------------------------------------------------------

@@ -58,3 +58,13 @@ class ExperimentParameterError(ReproError):
 
 class SweepError(ReproError):
     """Raised by the sweep runner (bad grid, worker failure, empty sweep)."""
+
+
+class WindowingError(ReproError):
+    """Raised on windowed-accounting misuse (non-positive stride, folding
+    an empty window sequence, sliding width not a stride multiple)."""
+
+
+class ServeError(ReproError):
+    """Raised by the live ingest server / client (bad handshake, unknown
+    query, protocol violations on a node stream)."""

@@ -1,0 +1,151 @@
+"""Client side of the ingest service: stream a node's log, ask questions.
+
+:func:`stream_node` is the whole node-agent loop in one call — build
+the hello from a :class:`~repro.tos.node.QuantoNode`, open the
+connection, push the packed log in transport-sized chunks, half-close,
+and hand back the server's final folded map.  :func:`query` opens a
+one-shot control connection.  Both have synchronous wrappers for
+scripts and the CLI.
+
+The chunking is deliberately adversarial by default (a prime chunk
+size, so entry boundaries drift through every offset): the server-side
+:class:`~repro.core.logger.WireDecoder` must not care, and the smoke
+tests lean on that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    Address,
+    INGEST_VERB,
+    LINE_LIMIT,
+    QUERY_VERB,
+    decode_json_line,
+    emap_from_wire,
+    encode_json_line,
+    make_hello,
+)
+
+#: Default ingest chunk size: prime, smaller than one TCP segment, and
+#: not a multiple of the 12-byte entry — every partial-entry offset gets
+#: exercised in the first few chunks of any real log.
+DEFAULT_CHUNK = 1021
+
+
+async def open_connection(address: Address):
+    """Open a stream to ``address`` (``(host, port)`` or a unix path)."""
+    if isinstance(address, str):
+        return await asyncio.open_unix_connection(address, limit=LINE_LIMIT)
+    host, port = address
+    return await asyncio.open_connection(host, port, limit=LINE_LIMIT)
+
+
+def hello_for_node(node, *, stride_ns: int, timeline=None, regression=None,
+                   origin_ns: Optional[int] = None) -> dict:
+    """The ingest hello for a simulated node: capture its timeline and
+    regression (if not provided) and pack the accounting inputs."""
+    from repro.tos.node import COMPONENT_NAMES, RES_TIMERB
+
+    if timeline is None:
+        timeline = node.timeline()
+    if regression is None:
+        regression = node.regression(timeline)
+    return make_hello(
+        node_id=node.node_id,
+        registry=node.registry,
+        component_names=COMPONENT_NAMES,
+        regression=regression,
+        energy_per_pulse_j=node.platform.icount.nominal_energy_per_pulse_j,
+        idle_name=node.registry.name_of(node.idle),
+        stride_ns=stride_ns,
+        single_res_ids=[d.res_id for d in node._single_devices()],
+        multi_res_ids=[RES_TIMERB],
+        end_time_ns=timeline.end_time_ns,
+        origin_ns=origin_ns,
+    )
+
+
+async def stream_raw(address: Address, hello: dict, raw: bytes,
+                     *, chunk_size: int = DEFAULT_CHUNK,
+                     on_chunk=None) -> dict:
+    """Stream pre-packed log bytes under an explicit hello; returns the
+    server's final reply (the folded map under ``"energy_map"``).
+
+    ``on_chunk(sent_bytes, total_bytes)`` — awaited after every chunk if
+    given — is the hook interactive clients (quanto-top) use to
+    interleave queries with a stream still in flight.
+    """
+    if chunk_size < 1:
+        raise ServeError("chunk size must be at least 1")
+    reader, writer = await open_connection(address)
+    try:
+        writer.write(INGEST_VERB.encode() + b" " + encode_json_line(hello))
+        total = len(raw)
+        for offset in range(0, total, chunk_size):
+            writer.write(raw[offset:offset + chunk_size])
+            await writer.drain()
+            if on_chunk is not None:
+                await on_chunk(min(offset + chunk_size, total), total)
+        writer.write_eof()  # half-close: "the log is complete"
+        line = await reader.readline()
+        if not line:
+            raise ServeError("server closed without a final reply")
+        reply = decode_json_line(line, "ingest reply")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    if not reply.get("ok"):
+        raise ServeError(
+            f"ingest rejected: {reply.get('error', 'unknown error')}")
+    return reply
+
+
+async def stream_node(address: Address, node, *, stride_ns: int,
+                      chunk_size: int = DEFAULT_CHUNK,
+                      on_chunk=None) -> dict:
+    """Stream one simulated node's full log to the server."""
+    hello = hello_for_node(node, stride_ns=stride_ns)
+    raw = bytes(node.logger.raw_bytes())
+    return await stream_raw(address, hello, raw, chunk_size=chunk_size,
+                            on_chunk=on_chunk)
+
+
+async def query(address: Address, payload: dict) -> dict:
+    """One control query; returns the server's reply object."""
+    reader, writer = await open_connection(address)
+    try:
+        writer.write(QUERY_VERB.encode() + b" " + encode_json_line(payload))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ServeError("server closed without a query reply")
+        return decode_json_line(line, "query reply")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+def final_map(reply: dict):
+    """The folded :class:`~repro.core.accounting.EnergyMap` out of an
+    ingest reply."""
+    return emap_from_wire(reply["energy_map"])
+
+
+def stream_node_sync(address: Address, node, *, stride_ns: int,
+                     chunk_size: int = DEFAULT_CHUNK) -> dict:
+    return asyncio.run(stream_node(address, node, stride_ns=stride_ns,
+                                   chunk_size=chunk_size))
+
+
+def query_sync(address: Address, payload: dict) -> dict:
+    return asyncio.run(query(address, payload))

@@ -1,0 +1,227 @@
+"""Wire protocol of the live ingest service.
+
+A connection opens with exactly one ASCII line that names its role:
+
+* ``INGEST <json>\\n`` — a node stream.  The JSON *hello* carries
+  everything the server needs to account the node without seeing the
+  simulation: the solved regression (columns, draws, constant floor),
+  the activity registry contents, device declarations, component names,
+  the pulse energy, and the window parameters.  After the hello the
+  connection body is **raw packed log entries** — the same 12-byte
+  frames the on-node logger writes (see :mod:`repro.core.logger`), in
+  any chunking the transport produces.  The client half-closes when the
+  log is done; the server replies with one JSON line holding the final
+  folded energy map, then closes.
+* ``QUERY <json>\\n`` — a control query.  The server answers with one
+  JSON line and closes.  Commands: ``nodes`` (session states),
+  ``breakdown`` (live or final per-node map), ``windows`` (recent
+  window snapshots), ``stats`` (server totals).
+
+Everything JSON is one line, UTF-8, ``\\n``-terminated.  Energy-map
+dicts are serialized as ``[[component, activity, value], ...]`` triple
+lists: JSON objects cannot key on the (component, activity) tuples and
+a triple list preserves the map's insertion order, which is part of the
+determinism contract.  Floats survive the round trip exactly —
+``json`` emits ``repr`` shortest-roundtrip forms — so a client can
+compare a served map against an offline one for bit-equality.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.accounting import EnergyMap, WindowSnapshot
+from repro.core.labels import ActivityRegistry
+from repro.core.regression import RegressionResult, SinkColumn
+from repro.errors import ServeError
+
+#: Connection-role line prefixes.
+INGEST_VERB = "INGEST"
+QUERY_VERB = "QUERY"
+
+#: Stream buffer limit for the JSON lines (the hello dominates; a
+#: registry of 256 names fits in a few KiB).
+LINE_LIMIT = 1 << 20
+
+#: An address is ``(host, port)`` for TCP or a filesystem path for a
+#: unix-domain socket.
+Address = Union[tuple[str, int], str]
+
+
+def parse_address(spec: str) -> Address:
+    """Parse a CLI address: ``unix:/path``, ``host:port``, or ``:port``
+    (localhost)."""
+    if spec.startswith("unix:"):
+        path = spec[len("unix:"):]
+        if not path:
+            raise ServeError(f"empty unix socket path in {spec!r}")
+        return path
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServeError(
+            f"bad address {spec!r}; expected unix:/path, host:port, or :port"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+def encode_json_line(obj) -> bytes:
+    """One compact JSON line, ready to write."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_json_line(line: bytes, what: str):
+    try:
+        return json.loads(line)
+    except ValueError as exc:
+        raise ServeError(f"bad {what} JSON: {exc}") from None
+
+
+# -- (component, activity) keyed dicts --------------------------------------
+
+
+def pairs_to_wire(mapping: dict) -> list:
+    """``{(component, activity): value}`` → ordered triple list."""
+    return [[component, activity, value]
+            for (component, activity), value in mapping.items()]
+
+
+def pairs_from_wire(triples: Sequence) -> dict:
+    """Ordered triple list → ``{(component, activity): value}``."""
+    return {(component, activity): value
+            for component, activity, value in triples}
+
+
+def emap_to_wire(emap: EnergyMap) -> dict:
+    return {
+        "energy_j": pairs_to_wire(emap.energy_j),
+        "time_ns": pairs_to_wire(emap.time_ns),
+        "metered_energy_j": emap.metered_energy_j,
+        "reconstructed_energy_j": emap.reconstructed_energy_j,
+        "span_ns": emap.span_ns,
+    }
+
+
+def emap_from_wire(obj: dict) -> EnergyMap:
+    return EnergyMap(
+        time_ns=pairs_from_wire(obj["time_ns"]),
+        energy_j=pairs_from_wire(obj["energy_j"]),
+        metered_energy_j=obj["metered_energy_j"],
+        reconstructed_energy_j=obj["reconstructed_energy_j"],
+        span_ns=obj["span_ns"],
+    )
+
+
+def snapshot_to_wire(snapshot: WindowSnapshot) -> dict:
+    """A window snapshot for query replies: the display deltas plus the
+    window's cumulative totals (the full cumulative dicts stay
+    server-side; queries are for dashboards, the exactness contract is
+    settled in the final ingest reply)."""
+    return {
+        "index": snapshot.index,
+        "t0_ns": snapshot.t0_ns,
+        "t1_ns": snapshot.t1_ns,
+        "intervals": snapshot.intervals,
+        "energy_j": pairs_to_wire(snapshot.energy_j),
+        "time_ns": pairs_to_wire(snapshot.time_ns),
+        "reconstructed_energy_j": snapshot.reconstructed_energy_j,
+        "metered_energy_j": snapshot.metered_energy_j,
+        "final": snapshot.final,
+    }
+
+
+# -- regression / registry ---------------------------------------------------
+
+
+def regression_to_wire(regression: RegressionResult) -> dict:
+    """The accounting-relevant slice of a solved regression: the column
+    layout, the per-column draws, and the constant floor.  The solver
+    diagnostics (residuals, groups, weights) stay home."""
+    return {
+        "columns": [[c.res_id, c.value, c.name] for c in regression.columns],
+        "power_w": dict(regression.power_w),
+        "const_power_w": regression.const_power_w,
+        "voltage": regression.voltage,
+    }
+
+
+def regression_from_wire(obj: dict) -> RegressionResult:
+    """Rebuild a :class:`RegressionResult` good enough for accounting
+    (empty diagnostic arrays; the accumulator reads only columns,
+    ``power_w``, and ``const_power_w``)."""
+    empty = np.zeros(0)
+    return RegressionResult(
+        columns=[SinkColumn(res_id=r, value=v, name=n)
+                 for r, v, n in obj["columns"]],
+        power_w=dict(obj["power_w"]),
+        const_power_w=obj["const_power_w"],
+        voltage=obj.get("voltage", 0.0),
+        y=empty, y_hat=empty, weights=empty,
+        group_states=[], group_time_ns=[], group_energy_j=[],
+    )
+
+
+def registry_to_wire(registry: ActivityRegistry) -> dict:
+    """aid → name, every registration included (builtins too, so the
+    rebuilt registry renders identically)."""
+    return {str(aid): name for aid, name in registry.known_ids().items()}
+
+
+def registry_from_wire(obj: dict) -> ActivityRegistry:
+    """A real registry restored from the wire names — ``name_of``
+    renders exactly as the sending node's registry does (including the
+    ``actN`` fallback for ids the sender never named)."""
+    names = {int(aid): name for aid, name in obj.items()}
+    registry = ActivityRegistry()
+    next_id = max(names, default=0) + 1
+    registry.restore_state((names, next_id))
+    return registry
+
+
+# -- the ingest hello --------------------------------------------------------
+
+_HELLO_REQUIRED = (
+    "node_id", "registry", "component_names", "regression",
+    "energy_per_pulse_j", "idle_name", "stride_ns",
+)
+
+
+def make_hello(
+    *,
+    node_id: int,
+    registry: ActivityRegistry,
+    component_names: dict[int, str],
+    regression: RegressionResult,
+    energy_per_pulse_j: float,
+    idle_name: str,
+    stride_ns: int,
+    single_res_ids: Optional[Sequence[int]] = None,
+    multi_res_ids: Optional[Sequence[int]] = None,
+    end_time_ns: Optional[int] = None,
+    origin_ns: Optional[int] = None,
+) -> dict:
+    return {
+        "node_id": node_id,
+        "registry": registry_to_wire(registry),
+        "component_names": {str(k): v for k, v in component_names.items()},
+        "regression": regression_to_wire(regression),
+        "energy_per_pulse_j": energy_per_pulse_j,
+        "idle_name": idle_name,
+        "stride_ns": stride_ns,
+        "single_res_ids": list(single_res_ids or ()),
+        "multi_res_ids": list(multi_res_ids or ()),
+        "end_time_ns": end_time_ns,
+        "origin_ns": origin_ns,
+    }
+
+
+def check_hello(hello: dict) -> dict:
+    """Validate an ingest hello's shape; returns it for chaining."""
+    if not isinstance(hello, dict):
+        raise ServeError("ingest hello is not a JSON object")
+    missing = [key for key in _HELLO_REQUIRED if key not in hello]
+    if missing:
+        raise ServeError(f"ingest hello missing {', '.join(missing)}")
+    return hello

@@ -1,0 +1,317 @@
+"""The live ingest server: many node streams, one attribution service.
+
+One asyncio event loop owns everything.  Each ``INGEST`` connection gets
+a :class:`NodeSession` — a :class:`~repro.core.logger.WireDecoder`
+reassembling 12-byte entries from arbitrary chunk boundaries, feeding a
+:class:`~repro.core.accounting.WindowedAccumulator` that closes
+per-stride windows as the node's virtual time advances.  Chunks flow
+through a **bounded** queue between the socket reader and the
+accounting consumer: when accounting falls behind, ``queue.put`` blocks
+the reader, the TCP window fills, and the node is flow-controlled —
+backpressure end to end, no unbounded buffering anywhere.
+
+``QUERY`` connections read the same sessions for live breakdowns; both
+run on the loop, so no locks.  Memory per node is the accumulator's
+open spans plus the retained window deque — a server holding thousands
+of finished nodes keeps only their folded maps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.core.accounting import WindowedAccumulator
+from repro.core.logger import ENTRY_SIZE, WireDecoder
+from repro.errors import ReproError, ServeError
+from repro.serve.protocol import (
+    INGEST_VERB,
+    LINE_LIMIT,
+    QUERY_VERB,
+    check_hello,
+    decode_json_line,
+    emap_to_wire,
+    encode_json_line,
+    pairs_to_wire,
+    regression_from_wire,
+    registry_from_wire,
+    snapshot_to_wire,
+)
+
+#: Socket read size for ingest bodies.
+READ_CHUNK = 1 << 16
+
+#: End-of-stream sentinel on a session's chunk queue.
+_EOF = None
+
+
+class NodeSession:
+    """One streaming node's server-side state: decoder, windowed
+    accumulator, counters, and outcome."""
+
+    def __init__(self, hello: dict, *, retain: int) -> None:
+        check_hello(hello)
+        self.node_id = int(hello["node_id"])
+        self.registry = registry_from_wire(hello["registry"])
+        self.decoder = WireDecoder()
+        self.accumulator = WindowedAccumulator(
+            regression_from_wire(hello["regression"]),
+            self.registry,
+            {int(k): v for k, v in hello["component_names"].items()},
+            hello["energy_per_pulse_j"],
+            stride_ns=hello["stride_ns"],
+            idle_name=hello["idle_name"],
+            single_res_ids=hello.get("single_res_ids") or None,
+            multi_res_ids=hello.get("multi_res_ids") or None,
+            end_time_ns=hello.get("end_time_ns"),
+            origin_ns=hello.get("origin_ns"),
+            retain=retain,
+        )
+        self.state = "streaming"
+        self.bytes_received = 0
+        self.error: Optional[str] = None
+        self.final_map = None
+
+    def ingest(self, chunk: bytes) -> None:
+        self.bytes_received += len(chunk)
+        accumulator = self.accumulator
+        for entry in self.decoder.feed(chunk):
+            accumulator.feed(entry)
+
+    def finish(self):
+        self.decoder.finish()  # a torn tail is a protocol error
+        self.final_map = self.accumulator.finish()
+        self.state = "done"
+        return self.final_map
+
+    def fail(self, message: str) -> None:
+        self.state = "error"
+        self.error = message
+
+    def describe(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "state": self.state,
+            "error": self.error,
+            "bytes": self.bytes_received,
+            "entries": self.decoder.entries_decoded,
+            "pending_bytes": self.decoder.pending_bytes,
+            "windows": self.accumulator.windows_emitted,
+        }
+
+    def breakdown(self) -> dict:
+        """The node's current attribution: the folded map once done,
+        the live cumulative view while streaming."""
+        if self.final_map is not None:
+            reply = emap_to_wire(self.final_map)
+            reply["live"] = False
+            return reply
+        live = self.accumulator.live_breakdown()
+        return {
+            "energy_j": pairs_to_wire(live["energy_j"]),
+            "time_ns": pairs_to_wire(live["time_ns"]),
+            "metered_energy_j": live["metered_energy_j"],
+            "reconstructed_energy_j": live["reconstructed_energy_j"],
+            "span_ns": live["span_ns"],
+            "live": True,
+        }
+
+
+class IngestServer:
+    """The long-running service.  ``await start_tcp(...)`` and/or
+    ``await start_unix(...)``, then :meth:`serve_forever` (or just keep
+    the loop alive); :meth:`close` tears the listeners down."""
+
+    def __init__(self, *, retain: int = 64, queue_depth: int = 32) -> None:
+        if queue_depth < 1:
+            raise ServeError("queue depth must be at least 1")
+        self.retain = retain
+        self.queue_depth = queue_depth
+        self.sessions: dict[int, NodeSession] = {}
+        self.completed = 0
+        self._servers: list[asyncio.base_events.Server] = []
+        self._done_event = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start_tcp(self, host: str, port: int) -> tuple[str, int]:
+        server = await asyncio.start_server(
+            self._handle, host, port, limit=LINE_LIMIT)
+        self._servers.append(server)
+        bound = server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def start_unix(self, path: str) -> str:
+        server = await asyncio.start_unix_server(
+            self._handle, path, limit=LINE_LIMIT)
+        self._servers.append(server)
+        return path
+
+    async def serve_forever(self, stop_after: Optional[int] = None) -> None:
+        """Serve until cancelled; with ``stop_after``, return once that
+        many node streams have completed (scripted runs, smoke tests)."""
+        if stop_after is None:
+            await asyncio.gather(*(
+                server.serve_forever() for server in self._servers))
+            return
+        while self.completed < stop_after:
+            self._done_event.clear()
+            await self._done_event.wait()
+
+    async def close(self) -> None:
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            verb, _, payload = line.strip().partition(b" ")
+            verb_name = verb.decode("ascii", "replace")
+            if verb_name == INGEST_VERB:
+                await self._handle_ingest(payload, reader, writer)
+            elif verb_name == QUERY_VERB:
+                await self._handle_query(payload, writer)
+            else:
+                writer.write(encode_json_line(
+                    {"ok": False,
+                     "error": f"unknown verb {verb_name!r}"}))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; its session (if any) is marked failed
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handle_ingest(self, payload: bytes,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            session = NodeSession(decode_json_line(payload, "ingest hello"),
+                                  retain=self.retain)
+        except ReproError as exc:
+            writer.write(encode_json_line({"ok": False, "error": str(exc)}))
+            await writer.drain()
+            return
+        self.sessions[session.node_id] = session
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
+        consumer = asyncio.ensure_future(self._consume(session, queue))
+        eof_clean = False
+        try:
+            while True:
+                chunk = await reader.read(READ_CHUNK)
+                if not chunk:
+                    eof_clean = True
+                    break
+                # Bounded hand-off: accounting lag blocks this put, which
+                # stops the reads, which flow-controls the sender.
+                await queue.put(chunk)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # eof_clean stays False -> the stream is marked failed
+        finally:
+            await queue.put(_EOF)
+        try:
+            await consumer
+            if not eof_clean:
+                raise ServeError("connection lost mid-stream")
+            final = session.finish()
+            reply = {
+                "ok": True,
+                "node_id": session.node_id,
+                "entries": session.decoder.entries_decoded,
+                "windows": session.accumulator.windows_emitted,
+                "energy_map": emap_to_wire(final),
+            }
+        except ReproError as exc:
+            session.fail(str(exc))
+            reply = {"ok": False, "node_id": session.node_id,
+                     "error": str(exc)}
+        self.completed += 1
+        self._done_event.set()
+        writer.write(encode_json_line(reply))
+        await writer.drain()
+
+    async def _consume(self, session: NodeSession,
+                       queue: asyncio.Queue) -> None:
+        """Drain one session's chunk queue into its accumulator.  Runs
+        as a task so decoding keeps pace with (and backpressures) the
+        socket reads; yields to the loop between chunks to keep query
+        connections responsive under a fast-flowing stream."""
+        while True:
+            chunk = await queue.get()
+            if chunk is _EOF:
+                return
+            session.ingest(chunk)
+
+    # -- queries -------------------------------------------------------------
+
+    async def _handle_query(self, payload: bytes,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            query = decode_json_line(payload, "query")
+            reply = self._answer(query)
+        except ReproError as exc:
+            reply = {"ok": False, "error": str(exc)}
+        writer.write(encode_json_line(reply))
+        await writer.drain()
+
+    def _session_for(self, query: dict) -> NodeSession:
+        node_id = query.get("node_id")
+        session = self.sessions.get(node_id)
+        if session is None:
+            known = sorted(self.sessions)
+            raise ServeError(f"unknown node {node_id!r}; known: {known}")
+        return session
+
+    def _answer(self, query: dict) -> dict:
+        if not isinstance(query, dict):
+            raise ServeError("query is not a JSON object")
+        command = query.get("cmd")
+        if command == "nodes":
+            return {"ok": True, "nodes": [
+                self.sessions[node_id].describe()
+                for node_id in sorted(self.sessions)
+            ]}
+        if command == "breakdown":
+            session = self._session_for(query)
+            reply = session.breakdown()
+            reply.update(ok=True, node_id=session.node_id,
+                         state=session.state)
+            return reply
+        if command == "windows":
+            session = self._session_for(query)
+            last = int(query.get("last", 8))
+            recent = list(session.accumulator.windows)[-last:]
+            return {
+                "ok": True,
+                "node_id": session.node_id,
+                "stride_ns": session.accumulator.stride_ns,
+                "emitted": session.accumulator.windows_emitted,
+                "windows": [snapshot_to_wire(s) for s in recent],
+            }
+        if command == "stats":
+            return {
+                "ok": True,
+                "sessions": len(self.sessions),
+                "streaming": sum(1 for s in self.sessions.values()
+                                 if s.state == "streaming"),
+                "completed": self.completed,
+                "entries": sum(s.decoder.entries_decoded
+                               for s in self.sessions.values()),
+                "bytes": sum(s.bytes_received
+                             for s in self.sessions.values()),
+                "entry_size": ENTRY_SIZE,
+            }
+        raise ServeError(
+            f"unknown query cmd {command!r}; "
+            "known: nodes, breakdown, windows, stats"
+        )

@@ -33,9 +33,12 @@ Properties the sweep pipeline relies on:
   recovers to its last complete record (exactly the old per-file
   cache's "corrupt entry is a miss" behaviour).
 * **Single writer per store, many readers** — appends take an advisory
-  ``flock``; loads don't lock (records are immutable once complete).
-  Multi-machine campaigns give each shard run its own cache root and
-  merge the stores afterwards (:func:`repro.sim.sweep.merge_sweeps`).
+  lock (``flock`` on POSIX, ``msvcrt.locking`` on Windows); loads don't
+  lock (records are immutable once complete).  On platforms with
+  neither primitive the store is strictly single-writer — see the
+  fallback note at ``_lock``.  Multi-machine campaigns give each shard
+  run its own cache root and merge the stores afterwards
+  (:func:`repro.sim.sweep.merge_sweeps`).
 """
 
 from __future__ import annotations
@@ -70,12 +73,34 @@ try:
 
     def _unlock(fileobj) -> None:
         fcntl.flock(fileobj.fileno(), fcntl.LOCK_UN)
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    def _lock(fileobj) -> None:
-        pass
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    try:
+        import msvcrt
 
-    def _unlock(fileobj) -> None:
-        pass
+        def _lock(fileobj) -> None:
+            # One byte at offset 0 as the writer mutex.  msvcrt.locking
+            # locks from the *current* position, so seek there first;
+            # the caller re-seeks to EOF before writing (and "ab" mode
+            # forces writes to the end regardless).  LK_LOCK retries for
+            # ~10 s before raising OSError, which store() already maps
+            # to a False return.
+            fileobj.seek(0)
+            msvcrt.locking(fileobj.fileno(), msvcrt.LK_LOCK, 1)
+
+        def _unlock(fileobj) -> None:
+            fileobj.seek(0)
+            msvcrt.locking(fileobj.fileno(), msvcrt.LK_UNLCK, 1)
+    except ImportError:
+        # No advisory locking primitive at all (exotic platforms): the
+        # store degrades to SINGLE-WRITER — concurrent appends can
+        # interleave torn records mid-shard, which the torn-tail scan
+        # does not repair.  Give each writer its own cache root and
+        # merge afterwards (repro.sim.sweep.merge_sweeps).
+        def _lock(fileobj) -> None:
+            pass
+
+        def _unlock(fileobj) -> None:
+            pass
 
 
 class ShardStore:
@@ -126,22 +151,40 @@ class ShardStore:
                 entries[key] = (offset, length, flags)
                 covered = max(covered, offset + length)
         if not trusted:
-            entries, covered = self._scan_shard(0)
-            self._write_index(entries)
+            entries, covered, complete = self._scan_shard(0)
+            # Rewrite the accelerator only from a scan that reached the
+            # shard's end: a mid-scan read fault yields a partial entry
+            # set, and persisting that would clobber a good index with
+            # an empty (or truncated) one — every cached point would
+            # then miss until the next full rescan.  The partial
+            # entries still serve this process; the index keeps its old
+            # bytes for the next load to retry against.
+            if complete:
+                self._write_index(entries)
         elif covered < shard_size:
             # The shard grew past the index (another writer, or a crash
             # between the payload and index appends): scan just the tail.
-            tail, _ = self._scan_shard(covered)
+            tail, _, complete = self._scan_shard(covered)
             if tail:
                 entries.update(tail)
-                self._write_index(entries)
+                if complete:
+                    self._write_index(entries)
         return entries
 
     def _scan_shard(
         self, start: int,
-    ) -> tuple[dict[bytes, tuple[int, int, int]], int]:
+    ) -> tuple[dict[bytes, tuple[int, int, int]], int, bool]:
         """Walk shard records from byte ``start`` (0 = validate the magic
-        too), stopping at the first torn/garbled record."""
+        too), stopping at the first torn/garbled record.
+
+        Returns ``(entries, end, complete)``.  ``complete`` is False
+        when an I/O fault interrupted the scan: the entries gathered so
+        far are still good (records are immutable once written), but
+        they are not the whole shard, so callers must not persist them
+        as the authoritative index.  A torn tail is *not* an
+        interruption — stopping at the last full record is the normal,
+        definitive result.
+        """
         entries: dict[bytes, tuple[int, int, int]] = {}
         header_size = RECORD_HEADER.size
         end = start
@@ -150,7 +193,7 @@ class ShardStore:
                 size = os.fstat(shard.fileno()).st_size
                 if start < len(SHARD_MAGIC):
                     if shard.read(len(SHARD_MAGIC)) != SHARD_MAGIC:
-                        return {}, 0
+                        return {}, 0, True  # definitively not a shard
                     position = len(SHARD_MAGIC)
                 else:
                     shard.seek(start)
@@ -166,10 +209,11 @@ class ShardStore:
                     shard.seek(length, os.SEEK_CUR)
                     entries[key] = (payload_at, length, flags)
                     position = payload_at + length
-                end = position
+                    end = position
         except OSError:
-            return {}, 0
-        return entries, end
+            # Keep what the scan already proved; just mark it partial.
+            return entries, end, False
+        return entries, end, True
 
     def _write_index(self, entries: dict[bytes, tuple[int, int, int]]) -> None:
         """Rewrite the accelerator (best-effort, atomic via rename)."""

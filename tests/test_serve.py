@@ -1,0 +1,242 @@
+"""The live ingest server: streams in, breakdowns out.
+
+The headline contract: a node's log streamed over a socket — in
+adversarial chunk sizes — produces a final folded map **byte-identical**
+to the offline ``build_energy_map`` of the same log.  Also covered:
+concurrent node streams, live queries mid-stream, the query surface,
+protocol error paths (bad hello, torn stream), and wire round-trips.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.accounting import build_energy_map
+from repro.errors import ServeError
+from repro.experiments.common import run_blink
+from repro.serve import (
+    IngestServer,
+    final_map,
+    hello_for_node,
+    parse_address,
+    query,
+    stream_node,
+    stream_raw,
+)
+from repro.serve.protocol import (
+    emap_from_wire,
+    emap_to_wire,
+    pairs_from_wire,
+    pairs_to_wire,
+)
+from repro.tos.node import COMPONENT_NAMES
+from repro.units import seconds
+
+
+def offline_map(node):
+    timeline = node.timeline()
+    regression = node.regression(timeline)
+    return build_energy_map(
+        timeline, regression, node.registry, COMPONENT_NAMES,
+        node.platform.icount.nominal_energy_per_pulse_j,
+        fold_proxies=False,
+        idle_name=node.registry.name_of(node.idle),
+        backend="streaming",
+    )
+
+
+def assert_maps_identical(served, offline):
+    assert list(served.energy_j) == list(offline.energy_j)
+    assert served.energy_j == offline.energy_j
+    assert list(served.time_ns) == list(offline.time_ns)
+    assert served.time_ns == offline.time_ns
+    assert served.metered_energy_j == offline.metered_energy_j
+    assert served.reconstructed_energy_j == offline.reconstructed_energy_j
+    assert served.span_ns == offline.span_ns
+
+
+@pytest.fixture()
+def sock(tmp_path):
+    return str(tmp_path / "ingest.sock")
+
+
+def serve_and(sock_path, coroutine_fn, **server_kwargs):
+    """Boot a unix-socket server, run the client coroutine, tear down."""
+    async def main():
+        server = IngestServer(**server_kwargs)
+        await server.start_unix(sock_path)
+        try:
+            return await coroutine_fn(server)
+        finally:
+            await server.close()
+
+    return asyncio.run(main())
+
+
+# -- the identity contract ---------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 1021, 1 << 16])
+def test_streamed_map_equals_offline(sock, chunk_size):
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
+    offline = offline_map(node)
+
+    async def client(_server):
+        return await stream_node(sock, node, stride_ns=int(seconds(1)),
+                                 chunk_size=chunk_size)
+
+    reply = serve_and(sock, client)
+    assert reply["ok"] and reply["windows"] >= 1
+    assert_maps_identical(final_map(reply), offline)
+
+
+def test_two_nodes_stream_concurrently(sock):
+    node_a, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
+    node_b, _app, _sim = run_blink(seed=7, duration_ns=seconds(8),
+                                   node_id=2)
+    offline = {1: offline_map(node_a), 2: offline_map(node_b)}
+
+    async def client(server):
+        replies = await asyncio.gather(
+            stream_node(sock, node_a, stride_ns=int(seconds(1)),
+                        chunk_size=13),
+            stream_node(sock, node_b, stride_ns=int(seconds(2)),
+                        chunk_size=31),
+        )
+        assert server.completed == 2
+        return replies
+
+    for reply in serve_and(sock, client):
+        assert reply["ok"]
+        assert_maps_identical(final_map(reply),
+                              offline[reply["node_id"]])
+
+
+def test_queries_mid_stream_and_after(sock):
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
+    offline = offline_map(node)
+    live_states = []
+
+    async def client(_server):
+        async def on_chunk(sent, total):
+            if sent < total:
+                reply = await query(sock, {"cmd": "breakdown",
+                                           "node_id": 1})
+                live_states.append(reply["live"])
+
+        reply = await stream_node(sock, node, stride_ns=int(seconds(1)),
+                                  chunk_size=256, on_chunk=on_chunk)
+        listing = await query(sock, {"cmd": "nodes"})
+        windows = await query(sock, {"cmd": "windows", "node_id": 1,
+                                     "last": 4})
+        stats = await query(sock, {"cmd": "stats"})
+        done = await query(sock, {"cmd": "breakdown", "node_id": 1})
+        return reply, listing, windows, stats, done
+
+    reply, listing, windows, stats, done = serve_and(sock, client)
+    assert any(live_states)  # at least one query hit a stream in flight
+    assert listing["nodes"][0]["state"] == "done"
+    assert listing["nodes"][0]["entries"] == reply["entries"]
+    assert windows["windows"][-1]["final"]
+    assert windows["emitted"] == reply["windows"]
+    assert stats["completed"] == 1
+    assert done["live"] is False
+    assert_maps_identical(emap_from_wire(done), offline)
+    assert_maps_identical(final_map(reply), offline)
+
+
+# -- protocol errors ---------------------------------------------------------
+
+
+def test_bad_hello_is_rejected(sock):
+    async def client(_server):
+        reader, writer = await asyncio.open_unix_connection(sock)
+        writer.write(b'INGEST {"node_id": 1}\n')
+        await writer.drain()
+        line = await reader.readline()
+        writer.close()
+        await writer.wait_closed()
+        return json.loads(line)
+
+    reply = serve_and(sock, client)
+    assert reply["ok"] is False and "missing" in reply["error"]
+
+
+def test_torn_stream_is_an_error_not_a_map(sock):
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
+    hello = hello_for_node(node, stride_ns=int(seconds(1)))
+    raw = bytes(node.logger.raw_bytes())[:-5]  # rip the last entry
+
+    async def client(server):
+        with pytest.raises(ServeError, match="partial entry"):
+            await stream_raw(sock, hello, raw)
+        listing = await query(sock, {"cmd": "nodes"})
+        return listing
+
+    listing = serve_and(sock, client)
+    assert listing["nodes"][0]["state"] == "error"
+    assert "partial entry" in listing["nodes"][0]["error"]
+
+
+def test_unknown_verb_and_query(sock):
+    async def client(_server):
+        reader, writer = await asyncio.open_unix_connection(sock)
+        writer.write(b"FROBNICATE {}\n")
+        await writer.drain()
+        verb_reply = json.loads(await reader.readline())
+        writer.close()
+        await writer.wait_closed()
+        unknown_cmd = await query(sock, {"cmd": "nope"})
+        unknown_node = await query(sock, {"cmd": "breakdown",
+                                          "node_id": 99})
+        return verb_reply, unknown_cmd, unknown_node
+
+    verb_reply, unknown_cmd, unknown_node = serve_and(sock, client)
+    assert verb_reply["ok"] is False and "verb" in verb_reply["error"]
+    assert unknown_cmd["ok"] is False
+    assert unknown_node["ok"] is False and "unknown node" in \
+        unknown_node["error"]
+
+
+def test_tcp_listener_works_too():
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(4))
+    offline = offline_map(node)
+
+    async def main():
+        server = IngestServer()
+        host, port = await server.start_tcp("127.0.0.1", 0)
+        try:
+            return await stream_node((host, port), node,
+                                     stride_ns=int(seconds(1)))
+        finally:
+            await server.close()
+
+    reply = asyncio.run(main())
+    assert_maps_identical(final_map(reply), offline)
+
+
+# -- wire encoding -----------------------------------------------------------
+
+
+def test_pairs_round_trip_preserves_order_and_bits():
+    mapping = {("CPU", "1:Blink"): 0.1 + 0.2, ("Radio", "1:Idle"): 3e-17}
+    triples = pairs_to_wire(mapping)
+    assert pairs_from_wire(json.loads(json.dumps(triples))) == mapping
+    assert list(pairs_from_wire(triples)) == list(mapping)
+
+
+def test_emap_json_round_trip_is_exact():
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(4))
+    offline = offline_map(node)
+    wire = json.loads(json.dumps(emap_to_wire(offline)))
+    assert_maps_identical(emap_from_wire(wire), offline)
+
+
+def test_parse_address_forms():
+    assert parse_address("unix:/tmp/x.sock") == "/tmp/x.sock"
+    assert parse_address("127.0.0.1:7117") == ("127.0.0.1", 7117)
+    assert parse_address(":0") == ("127.0.0.1", 0)
+    for bad in ("unix:", "nocolon", "host:port"):
+        with pytest.raises(ServeError):
+            parse_address(bad)
