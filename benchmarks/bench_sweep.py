@@ -1,9 +1,11 @@
-"""Sweep runner: serial vs parallel wall time on a multi-seed campaign.
+"""Sweep runner: batch width and worker pool wall time on a campaign.
 
 Unlike the table/figure benches (one simulation, archived tables), this
-bench measures the *fleet* layer itself: the same 16-seed table3 campaign
-run serially and on a worker pool, asserting the results are
-byte-identical and recording the speedup under ``results/``.
+bench measures the *fleet* layer itself: the same 64-point table3
+campaign at batch K=1 (one world at a time), at the default batch width
+(K worlds interleaved per process on one shared event queue), and on a
+worker pool — asserting all results are byte-identical and recording
+the speedups under ``results/``.
 
 Runnable standalone (``PYTHONPATH=src python benchmarks/bench_sweep.py``)
 or via pytest.
@@ -37,16 +39,26 @@ JOBS = max(2, min(4, os.cpu_count() or 1))
 
 
 def bench_sweep() -> str:
-    serial = run_sweep("table3", SEEDS, OVERRIDES, jobs=1)
+    from repro.sim.sweep import resolve_batch
+
+    batch_k = resolve_batch(None)
+    serial = run_sweep("table3", SEEDS, OVERRIDES, jobs=1, batch=1)
+    batched = run_sweep("table3", SEEDS, OVERRIDES, jobs=1)
     parallel = run_sweep("table3", SEEDS, OVERRIDES, jobs=JOBS)
+    assert serial.digest() == batched.digest(), \
+        "batched sweep diverged from serial reference"
     assert serial.digest() == parallel.digest(), \
         "parallel sweep diverged from serial reference"
 
+    batch_speedup = serial.wall_s / batched.wall_s if batched.wall_s else 0.0
     speedup = serial.wall_s / parallel.wall_s if parallel.wall_s else 0.0
     per_point_ms = 1000 * serial.wall_s / len(serial.points)
     rows = [
-        ("serial", "1", f"{serial.wall_s:.3f}", "1.00"),
-        ("parallel", str(JOBS), f"{parallel.wall_s:.3f}", f"{speedup:.2f}"),
+        ("serial (batch=1)", "1", f"{serial.wall_s:.3f}", "1.00"),
+        (f"batched (K={batch_k})", "1", f"{batched.wall_s:.3f}",
+         f"{batch_speedup:.2f}"),
+        (f"parallel (K={batch_k})", str(JOBS), f"{parallel.wall_s:.3f}",
+         f"{speedup:.2f}"),
     ]
     led0 = parallel.metric("energy_by_pair_mj.LED0/1:Red")
     report = "\n\n".join([
@@ -55,7 +67,7 @@ def bench_sweep() -> str:
         f"-- digests match: {serial.digest()[:16]}\n"
         f"-- serial: {per_point_ms:.2f} ms/point",
         format_table(("mode", "jobs", "wall (s)", "speedup"), rows,
-                     title="serial vs parallel wall time"),
+                     title="batch width and pool wall time"),
         f"E[LED0/1:Red] = {led0.mean:.2f} +/- {led0.stddev:.2f} mJ "
         f"over {led0.n} seeds",
     ])

@@ -6,8 +6,9 @@ Commands:
 * ``experiment <id> [--seed N] [--set k=v ...]`` — run one experiment
   (e.g. ``table3``, ``fig13``, ``ext_deployment``) and print its rendered
   result;
-* ``sweep <id> [--seeds N] [--jobs J] [--set k=v1,v2 ...] [--cache-dir D]
-  [--shard i/N]`` — run an experiment campaign over many seeds (and
+* ``sweep <id> [--seeds N] [--jobs J] [--batch K] [--set k=v1,v2 ...]
+  [--cache-dir D] [--shard i/N]`` — run an experiment campaign over many
+  seeds (and
   optionally a parameter grid) on a worker pool, folding results into
   streaming aggregates; with a cache directory, already-simulated points
   are reused and only new grid points run; with ``--shard i/N``, run
@@ -96,6 +97,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.jobs < 0:
         print("--jobs must be 0 (auto) or a worker count", file=sys.stderr)
         return 2
+    if args.batch is not None and args.batch < 1:
+        print("--batch must be at least 1", file=sys.stderr)
+        return 2
     shard = parse_shard(args.shard) if args.shard else None
     overrides = _parse_set_args(args.set, multi_valued=True)
     seeds = range(args.seed_base, args.seed_base + args.seeds)
@@ -106,7 +110,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir = None
     result = run_sweep(args.id, seeds, overrides, jobs=args.jobs,
                        cache_dir=cache_dir, backend=args.backend,
-                       shard=shard)
+                       shard=shard, batch=args.batch)
     print(result.render())
     return 0
 
@@ -251,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of seeds (default 8)")
     p_sweep.add_argument("--seed-base", type=int, default=0,
                          help="first seed (default 0)")
+    p_sweep.add_argument("--batch", type=int, default=None, metavar="K",
+                         help="simulate K same-config worlds per process on "
+                              "one shared event queue (default 8, or "
+                              "REPRO_SWEEP_BATCH; 1 disables batching — "
+                              "results are bit-identical either way)")
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="worker processes (default 1 = serial; "
                               "0 = auto-detect the CPU count)")

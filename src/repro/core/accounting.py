@@ -1057,6 +1057,465 @@ def _ragged_cover(window_t0, window_t1, seg_t0, seg_t1):
     return offsets, seg_rows, overlaps
 
 
+def _fold_stream(emap, timeline, plan_raw, dt_ns, dt_s, const_arr,
+                 label_name, name_of_value, fold_proxies, idle_name,
+                 name_of):
+    """The ordered fold, vectorized and fused: every charged device's
+    per-interval work is flattened into ONE cover query and ONE
+    grouping sort (charges separated by a per-charge time offset larger
+    than any timestamp), producing a single
+    ``(interval, plan-position, within-charge-rank)``-keyed contribution
+    stream whose final scalar adds are replayed in reference order.
+
+    Bit-identity with :func:`_fold_reference` (and hence the streaming
+    accumulator) rests on these facts, each pinned by the
+    backend-equivalence fuzz tests:
+
+    * with every interval strictly positive (the guard the caller
+      enforces), a single-device cover's share denominator is always
+      exactly the interval duration — the named overlaps plus the idle
+      remainder sum to ``dt_ns`` — so ``share/total`` is an
+      ``int64/int64`` divide, which numpy evaluates to the same float64
+      Python's ``int/int`` does for magnitudes below 2**53;
+    * ``joules * fraction`` is the same elementwise IEEE-754 multiply
+      either way;
+    * per-key accumulation replays with ``np.cumsum`` — a strict
+      left-to-right accumulation, unlike ``np.sum``'s pairwise tree —
+      over each key's contributions gathered in stream order, and keys
+      are inserted in first-occurrence stream order, preserving dict
+      order.  The lone divergence from a fold that starts at literal
+      ``0.0`` is an all-negative-zero stream, which the reference
+      rounds to ``+0.0``; the ``== 0.0`` normalization below restores
+      exactly that.
+
+    Requires ``emap`` fresh (empty ``energy_j``, zero reconstructed
+    total), which :func:`columnar_energy_map` guarantees.
+    """
+    vectors = timeline.vectors
+    n_vec = len(vectors)
+    interval_vec = timeline.interval_vec
+    n_intervals = len(dt_ns)
+    names: list = [None]          # id 0: the regression constant
+    name_ids: dict[str, int] = {}
+
+    def intern_name(name: str) -> int:
+        nid = name_ids.get(name)
+        if nid is None:
+            nid = name_ids[name] = len(names)
+            names.append(name)
+        return nid
+
+    comps: list = [None]
+    comp_ids: dict[str, int] = {}
+
+    def intern_comp(component: str) -> int:
+        cid = comp_ids.get(component)
+        if cid is None:
+            cid = comp_ids[component] = len(comps)
+            comps.append(component)
+        return cid
+
+    value_nid: dict[int, int] = {}
+
+    def nid_of_value(value: int) -> int:
+        nid = value_nid.get(value)
+        if nid is None:
+            nid = value_nid[value] = intern_name(name_of_value(value))
+        return nid
+
+    idle_id = intern_name(idle_name)
+    untracked_id = intern_name(UNTRACKED_KEY)
+    charged_ids = sorted({r for plan in plan_raw for r, _, _ in plan})
+    charge_index = {rid: c for c, rid in enumerate(charged_ids)}
+    n_charges = len(charged_ids)
+    KIND_SINGLE, KIND_MULTI, KIND_UNTRACKED = 0, 1, 2
+    kind_arr = np.empty(n_charges, dtype=np.int64)
+    charge_cols: list = [None] * n_charges
+    for c, rid in enumerate(charged_ids):
+        single = timeline.single_columns(rid)
+        if single is not None:
+            kind_arr[c] = KIND_SINGLE
+            charge_cols[c] = single
+            continue
+        multi = timeline.multi_columns(rid)
+        if multi is not None:
+            kind_arr[c] = KIND_MULTI
+            charge_cols[c] = multi
+        else:
+            kind_arr[c] = KIND_UNTRACKED
+    # Per-(charge, vector) tables off the plans: a charge's power draw,
+    # display component, and position within each vector's plan.
+    has_mat = np.zeros((n_charges, n_vec), dtype=bool)
+    power_mat = np.zeros((n_charges, n_vec), dtype=np.float64)
+    comp_mat = np.zeros((n_charges, n_vec), dtype=np.int64)
+    pos_mat = np.zeros((n_charges, n_vec), dtype=np.int64)
+    for vec_id, plan in enumerate(plan_raw):
+        for pos, (rid, component, power_w) in enumerate(plan):
+            c = charge_index[rid]
+            has_mat[c, vec_id] = True
+            power_mat[c, vec_id] = power_w
+            comp_mat[c, vec_id] = intern_comp(component)
+            pos_mat[c, vec_id] = pos
+    # Flatten to one (charge, interval) row list, charge-major: every
+    # interval in which each charge carries a power column.
+    c_idx, i_idx = np.nonzero(has_mat[:, interval_vec])
+    vecs_f = interval_vec[i_idx]
+    joules_f = power_mat[c_idx, vecs_f] * dt_s[i_idx]
+    comp_f = comp_mat[c_idx, vecs_f]
+    pos_f = pos_mat[c_idx, vecs_f]
+    dt_f = dt_ns[i_idx]
+    kind_f = kind_arr[c_idx]
+    # Stream columns: interval row, plan position (-1: const), rank
+    # within the charge, component id, name id, joules.
+    stream_i = [np.arange(n_intervals, dtype=np.int64)]
+    stream_p = [np.full(n_intervals, -1, dtype=np.int64)]
+    stream_q = [np.zeros(n_intervals, dtype=np.int64)]
+    stream_c = [np.zeros(n_intervals, dtype=np.int64)]
+    stream_n = [np.zeros(n_intervals, dtype=np.int64)]
+    stream_v = [const_arr]
+    # -- single-tracked charges: ONE fused cover + grouping ----------------
+    single_rows = np.nonzero(kind_f == KIND_SINGLE)[0]
+    if len(single_rows):
+        # Shift each charge into its own disjoint time band so one
+        # sorted segment array (and one bisection pair) covers them
+        # all; overlaps are time differences, unaffected by the shift.
+        span_ns = int(timeline.end_time_ns) + 1
+        if n_intervals:
+            span_ns = max(span_ns, int(timeline.interval_t1[-1]) + 1)
+        seg_t0_parts = []
+        seg_t1_parts = []
+        seg_val_parts: list = []
+        for c in range(n_charges):
+            if kind_arr[c] != KIND_SINGLE:
+                continue
+            single = charge_cols[c]
+            shift = c * span_ns
+            seg_t0_parts.append(single.t0 + shift)
+            seg_t1_parts.append(single.t1 + shift)
+            if fold_proxies:
+                seg_val_parts.extend(
+                    b if b is not None else label
+                    for label, b in zip(single.labels, single.bound))
+            else:
+                seg_val_parts.extend(single.labels)
+        seg_t0_all = np.concatenate(seg_t0_parts)
+        seg_t1_all = np.concatenate(seg_t1_parts)
+        # A handful of distinct labels name hundreds of segments:
+        # resolve the uniques, then translate by table lookup.
+        uvals, uinv = np.unique(
+            np.asarray(seg_val_parts, dtype=np.int64),
+            return_inverse=True)
+        nid_lut = np.fromiter(
+            (nid_of_value(value) for value in uvals.tolist()),
+            dtype=np.int64, count=len(uvals))
+        seg_name_ids = nid_lut[uinv]
+        shift_f = c_idx[single_rows] * span_ns
+        offsets, seg_rows, overlaps = _ragged_cover(
+            timeline.interval_t0[i_idx[single_rows]] + shift_f,
+            timeline.interval_t1[i_idx[single_rows]] + shift_f,
+            seg_t0_all, seg_t1_all)
+        n_srows = len(single_rows)
+        pair_row = np.repeat(
+            np.arange(n_srows, dtype=np.int64), np.diff(offsets))
+        if len(pair_row):
+            # Group cover rows by (flat row, name): a stable sort on a
+            # composite key; first-occurrence positions give the dict
+            # insertion rank, int sums the per-name shares (exact).
+            pair_name = seg_name_ids[seg_rows]
+            group_key = pair_row * (len(names) + 1) + pair_name
+            order = np.argsort(group_key, kind="stable")
+            sorted_key = group_key[order]
+            first = np.empty(len(sorted_key), dtype=bool)
+            first[0] = True
+            np.not_equal(sorted_key[1:], sorted_key[:-1], out=first[1:])
+            group_starts = np.nonzero(first)[0]
+            group_first = order[group_starts]
+            group_share = np.add.reduceat(overlaps[order], group_starts)
+            group_row = pair_row[group_first]
+            group_name = pair_name[group_first]
+            covered = np.bincount(
+                pair_row, weights=overlaps,
+                minlength=n_srows).astype(np.int64)
+        else:
+            group_first = np.empty(0, dtype=np.int64)
+            group_share = np.empty(0, dtype=np.int64)
+            group_row = np.empty(0, dtype=np.int64)
+            group_name = np.empty(0, dtype=np.int64)
+            covered = np.zeros(n_srows, dtype=np.int64)
+        dt_s_rows = dt_f[single_rows]
+        idle_ns = dt_s_rows - covered
+        has_idle = idle_ns > 0
+        if has_idle.any():
+            # The remainder merges into an existing idle-named group
+            # (keeping its rank) or appends last.
+            idle_gidx = np.full(n_srows, -1, dtype=np.int64)
+            idle_groups = np.nonzero(group_name == idle_id)[0]
+            idle_gidx[group_row[idle_groups]] = idle_groups
+            merge_rows = np.nonzero(has_idle & (idle_gidx >= 0))[0]
+            if len(merge_rows):
+                group_share[idle_gidx[merge_rows]] += idle_ns[merge_rows]
+            new_rows = np.nonzero(has_idle & (idle_gidx < 0))[0]
+            if len(new_rows):
+                group_row = np.concatenate((group_row, new_rows))
+                group_name = np.concatenate((
+                    group_name,
+                    np.full(len(new_rows), idle_id, dtype=np.int64)))
+                group_share = np.concatenate((
+                    group_share, idle_ns[new_rows]))
+                # Rank the appended remainder after every named cover
+                # group of its interval: group_first holds pair-array
+                # indices, all strictly below len(pair_row).
+                group_first = np.concatenate((
+                    group_first,
+                    np.full(len(new_rows), len(pair_row),
+                            dtype=np.int64)))
+        if len(group_row):
+            flat = single_rows[group_row]
+            stream_i.append(i_idx[flat])
+            stream_p.append(pos_f[flat])
+            stream_q.append(group_first)
+            stream_c.append(comp_f[flat])
+            stream_n.append(group_name)
+            stream_v.append(
+                joules_f[flat] * (group_share / dt_f[flat]))
+    # -- untracked charges: one contribution per row -----------------------
+    untracked_rows = np.nonzero(kind_f == KIND_UNTRACKED)[0]
+    if len(untracked_rows):
+        stream_i.append(i_idx[untracked_rows])
+        stream_p.append(pos_f[untracked_rows])
+        stream_q.append(np.zeros(len(untracked_rows), dtype=np.int64))
+        stream_c.append(comp_f[untracked_rows])
+        stream_n.append(np.full(len(untracked_rows), untracked_id,
+                                dtype=np.int64))
+        stream_v.append(joules_f[untracked_rows])
+    # -- multi charges: the scalar share helper, per charge (rare) ---------
+    if (kind_f == KIND_MULTI).any():
+        sets = timeline.label_sets
+        for c in range(n_charges):
+            if kind_arr[c] != KIND_MULTI:
+                continue
+            rows = np.nonzero(c_idx == c)[0]
+            if not len(rows):
+                continue
+            multi = charge_cols[c]
+            offsets, seg_rows, overlaps = _ragged_cover(
+                timeline.interval_t0[i_idx[rows]],
+                timeline.interval_t1[i_idx[rows]],
+                multi.t0, multi.t1)
+            seg_sets = [sets[s] for s in multi.set_ids]
+            offs = offsets.tolist()
+            srows = seg_rows.tolist()
+            over = overlaps.tolist()
+            dt_list = dt_f[rows].tolist()
+            joules_list = joules_f[rows].tolist()
+            i_list = i_idx[rows].tolist()
+            p_list = pos_f[rows].tolist()
+            c_list = comp_f[rows].tolist()
+            mi: list[int] = []
+            mp: list[int] = []
+            mq: list[int] = []
+            mc: list[int] = []
+            mn: list[int] = []
+            mv: list[float] = []
+            for r in range(len(rows)):
+                start, stop = offs[r], offs[r + 1]
+                shares = _multi_shares(
+                    ((seg_sets[srows[k]], over[k])
+                     for k in range(start, stop)),
+                    dt_list[r], idle_name, name_of)
+                for rank, (activity, fraction) in \
+                        enumerate(shares.items()):
+                    mi.append(i_list[r])
+                    mp.append(p_list[r])
+                    mq.append(rank)
+                    mc.append(c_list[r])
+                    mn.append(intern_name(activity))
+                    mv.append(joules_list[r] * fraction)
+            if mi:
+                stream_i.append(np.array(mi, dtype=np.int64))
+                stream_p.append(np.array(mp, dtype=np.int64))
+                stream_q.append(np.array(mq, dtype=np.int64))
+                stream_c.append(np.array(mc, dtype=np.int64))
+                stream_n.append(np.array(mn, dtype=np.int64))
+                stream_v.append(np.array(mv, dtype=np.float64))
+    # -- assemble and replay ----------------------------------------------
+    i_all = np.concatenate(stream_i)
+    p_all = np.concatenate(stream_p)
+    q_all = np.concatenate(stream_q)
+    # One composite key replaces the three-key lexsort: i primary, then
+    # p, then q, with bases one past each key's maximum; the stable
+    # argsort keeps lexsort's tie order (both stable on the original
+    # positions).  p is shifted by one so the const sentinel (-1) maps
+    # into [0, p_base) — an affine encoding is order-preserving only
+    # over non-negative digits.
+    p_base = int(p_all.max()) + 2 if len(p_all) else 2
+    q_base = int(q_all.max()) + 1 if len(q_all) else 1
+    order = np.argsort(
+        (i_all * p_base + (p_all + 1)) * q_base + q_all, kind="stable")
+    span = len(names) + 1
+    code = (np.concatenate(stream_c) * span
+            + np.concatenate(stream_n))[order]
+    values = np.concatenate(stream_v)[order]
+    # Codes live in a small dense range (components x names), so the
+    # per-key totals come straight from one weighted bincount over the
+    # codes themselves (same in-order per-bin accumulation as the dict
+    # fold) and first-occurrence order from a reversed fancy assignment
+    # (last write wins == first occurrence) — no sort needed.
+    n_rows = len(code)
+    n_codes = len(comps) * span
+    first_row = np.full(n_codes, -1, dtype=np.int64)
+    first_row[code[::-1]] = np.arange(n_rows - 1, -1, -1, dtype=np.int64)
+    totals = np.bincount(code, weights=values, minlength=n_codes)
+    present = np.nonzero(first_row >= 0)[0]
+    energy_j = emap.energy_j
+    for c in present[np.argsort(first_row[present],
+                                kind="stable")].tolist():
+        cid, nid = divmod(c, span)
+        key = _CONST_PAIR if cid == 0 else (comps[cid], names[nid])
+        energy_j[key] = float(totals[c])
+    emap.reconstructed_energy_j = float(np.bincount(
+        np.zeros(n_rows, dtype=np.intp), weights=values,
+        minlength=1)[0])
+
+
+def _fold_reference(emap, timeline, plan_raw, dt_ns, dt_s, const_arr,
+                    label_name, name_of_value, fold_proxies, idle_name,
+                    name_of):
+    """The scalar ordered fold — the executable spec for
+    :func:`_fold_stream` and the path for degenerate inputs
+    (zero-length intervals, where the share denominator diverges from
+    the interval duration)."""
+    vectors = timeline.vectors
+    interval_vec = timeline.interval_vec
+    n_intervals = len(dt_ns)
+    const_list = const_arr.tolist()
+    _name_of_value = name_of_value
+    charged: dict[int, _ColumnarCharge] = {}
+    for res_id in sorted({r for plan in plan_raw for r, _, _ in plan}):
+        single = timeline.single_columns(res_id)
+        multi = timeline.multi_columns(res_id) if single is None else None
+        if single is not None:
+            charge = _ColumnarCharge(_ColumnarCharge.KIND_SINGLE)
+        elif multi is not None:
+            charge = _ColumnarCharge(_ColumnarCharge.KIND_MULTI)
+        else:
+            charge = _ColumnarCharge(_ColumnarCharge.KIND_UNTRACKED)
+        has_power = np.zeros(len(vectors), dtype=bool)
+        power_by_vec = np.zeros(len(vectors), dtype=np.float64)
+        comp_by_vec: list[Optional[str]] = [None] * len(vectors)
+        for vec_id, plan in enumerate(plan_raw):
+            for rid, component, power_w in plan:
+                if rid == res_id:
+                    has_power[vec_id] = True
+                    power_by_vec[vec_id] = power_w
+                    comp_by_vec[vec_id] = component
+        rows = np.nonzero(has_power[interval_vec])[0]
+        row_vecs = interval_vec[rows]
+        charge.components = [comp_by_vec[v] for v in row_vecs.tolist()]
+        charge.joules = (power_by_vec[row_vecs] * dt_s[rows]).tolist()
+        if charge.kind == _ColumnarCharge.KIND_SINGLE:
+            offsets, seg_rows, overlaps = _ragged_cover(
+                timeline.interval_t0[rows], timeline.interval_t1[rows],
+                single.t0, single.t1)
+            # A handful of distinct labels name hundreds of segments:
+            # resolve each once, then translate by dict hit (no per-item
+            # function call).
+            if fold_proxies:
+                seg_names = []
+                append_name = seg_names.append
+                for label, b in zip(single.labels, single.bound):
+                    value = b if b is not None else label
+                    name = label_name.get(value)
+                    append_name(name if name is not None
+                                else _name_of_value(value))
+            else:
+                seg_names = []
+                append_name = seg_names.append
+                for value in single.labels:
+                    name = label_name.get(value)
+                    append_name(name if name is not None
+                                else _name_of_value(value))
+            charge.offsets = offsets.tolist()
+            charge.pair_names = [seg_names[j] for j in seg_rows.tolist()]
+            charge.pair_overlap = overlaps.tolist()
+        elif charge.kind == _ColumnarCharge.KIND_MULTI:
+            offsets, seg_rows, overlaps = _ragged_cover(
+                timeline.interval_t0[rows], timeline.interval_t1[rows],
+                multi.t0, multi.t1)
+            sets = timeline.label_sets
+            seg_sets = [sets[s] for s in multi.set_ids]
+            charge.offsets = offsets.tolist()
+            charge.pair_sets = [seg_sets[j] for j in seg_rows.tolist()]
+            charge.pair_overlap = overlaps.tolist()
+        charged[res_id] = charge
+    plans: list[list[_ColumnarCharge]] = [
+        [charged[rid] for rid, _, _ in plan] for plan in plan_raw
+    ]
+    # The ordered fold: the one remaining per-interval loop, walking
+    # precomputed columns — no trackers, no deques, no span objects.
+    # The single-device charge (the hot kind) is _charge_named inlined,
+    # with the reconstructed-total accumulator held in a local: the
+    # adds happen to the same running value in the same order, so the
+    # bits match the streaming accumulator exactly (the helper remains
+    # the streaming path's implementation and this loop's spec; the
+    # shared golden digests pin the two against each other).
+    energy_j = emap.energy_j
+    energy_get = energy_j.get
+    dt_ns_list = dt_ns.tolist()
+    vec_list = interval_vec.tolist()
+    recon = emap.reconstructed_energy_j
+    for i in range(n_intervals):
+        const_j = const_list[i]
+        energy_j[_CONST_PAIR] = energy_get(_CONST_PAIR, 0.0) + const_j
+        recon += const_j
+        for charge in plans[vec_list[i]]:
+            cursor = charge.cursor
+            charge.cursor = cursor + 1
+            joules = charge.joules[cursor]
+            component = charge.components[cursor]
+            kind = charge.kind
+            if kind == _ColumnarCharge.KIND_SINGLE:
+                start = charge.offsets[cursor]
+                stop = charge.offsets[cursor + 1]
+                named: dict[str, int] = {}
+                covered = 0
+                pair_names = charge.pair_names
+                pair_overlap = charge.pair_overlap
+                for k in range(start, stop):
+                    name = pair_names[k]
+                    overlap = pair_overlap[k]
+                    named[name] = named.get(name, 0) + overlap
+                    covered += overlap
+                idle_ns = dt_ns_list[i] - covered
+                if idle_ns > 0:
+                    named[idle_name] = named.get(idle_name, 0) + idle_ns
+                    covered += idle_ns
+                if not covered:
+                    covered = 1
+                for activity, share_ns in named.items():
+                    key = (component, activity)
+                    joule_share = joules * (share_ns / covered)
+                    energy_j[key] = energy_get(key, 0.0) + joule_share
+                    recon += joule_share
+            elif kind == _ColumnarCharge.KIND_MULTI:
+                start = charge.offsets[cursor]
+                stop = charge.offsets[cursor + 1]
+                shares = _multi_shares(
+                    zip(charge.pair_sets[start:stop],
+                        charge.pair_overlap[start:stop]),
+                    dt_ns_list[i], idle_name, name_of)
+                for activity, fraction in shares.items():
+                    key = (component, activity)
+                    joule_share = joules * fraction
+                    energy_j[key] = energy_get(key, 0.0) + joule_share
+                    recon += joule_share
+            else:
+                key = (component, UNTRACKED_KEY)
+                energy_j[key] = energy_get(key, 0.0) + joules
+                recon += joules
+    emap.reconstructed_energy_j = recon
+
+
 ColumnarSource = Union[bytes, bytearray, memoryview, LogColumns,
                        ColumnarTimeline, Iterable]
 
@@ -1143,9 +1602,7 @@ def columnar_energy_map(
     # multiplies — the identical IEEE-754 operations the streaming path
     # performs one interval at a time.
     dt_s = dt_ns * 1e-9
-    const_list = (regression.const_power_w * dt_s).tolist()
-    # Per charged device: gather its intervals, joules, and cover rows.
-    charged: dict[int, _ColumnarCharge] = {}
+    const_arr = regression.const_power_w * dt_s
     label_name: dict[int, str] = {}
 
     def _name_of_value(value: int) -> str:
@@ -1155,158 +1612,63 @@ def columnar_energy_map(
                 ActivityLabel.decode(value))
         return name
 
-    for res_id in sorted({r for plan in plan_raw for r, _, _ in plan}):
-        single = timeline.single_columns(res_id)
-        multi = timeline.multi_columns(res_id) if single is None else None
-        if single is not None:
-            charge = _ColumnarCharge(_ColumnarCharge.KIND_SINGLE)
-        elif multi is not None:
-            charge = _ColumnarCharge(_ColumnarCharge.KIND_MULTI)
-        else:
-            charge = _ColumnarCharge(_ColumnarCharge.KIND_UNTRACKED)
-        has_power = np.zeros(len(vectors), dtype=bool)
-        power_by_vec = np.zeros(len(vectors), dtype=np.float64)
-        comp_by_vec: list[Optional[str]] = [None] * len(vectors)
-        for vec_id, plan in enumerate(plan_raw):
-            for rid, component, power_w in plan:
-                if rid == res_id:
-                    has_power[vec_id] = True
-                    power_by_vec[vec_id] = power_w
-                    comp_by_vec[vec_id] = component
-        rows = np.nonzero(has_power[interval_vec])[0]
-        row_vecs = interval_vec[rows]
-        charge.components = [comp_by_vec[v] for v in row_vecs.tolist()]
-        charge.joules = (power_by_vec[row_vecs] * dt_s[rows]).tolist()
-        if charge.kind == _ColumnarCharge.KIND_SINGLE:
-            offsets, seg_rows, overlaps = _ragged_cover(
-                timeline.interval_t0[rows], timeline.interval_t1[rows],
-                single.t0, single.t1)
-            # A handful of distinct labels name hundreds of segments:
-            # resolve each once, then translate by dict hit (no per-item
-            # function call).
-            if fold_proxies:
-                seg_names = []
-                append_name = seg_names.append
-                for label, b in zip(single.labels, single.bound):
-                    value = b if b is not None else label
-                    name = label_name.get(value)
-                    append_name(name if name is not None
-                                else _name_of_value(value))
-            else:
-                seg_names = []
-                append_name = seg_names.append
-                for value in single.labels:
-                    name = label_name.get(value)
-                    append_name(name if name is not None
-                                else _name_of_value(value))
-            charge.offsets = offsets.tolist()
-            charge.pair_names = [seg_names[j] for j in seg_rows.tolist()]
-            charge.pair_overlap = overlaps.tolist()
-        elif charge.kind == _ColumnarCharge.KIND_MULTI:
-            offsets, seg_rows, overlaps = _ragged_cover(
-                timeline.interval_t0[rows], timeline.interval_t1[rows],
-                multi.t0, multi.t1)
-            sets = timeline.label_sets
-            seg_sets = [sets[s] for s in multi.set_ids]
-            charge.offsets = offsets.tolist()
-            charge.pair_sets = [seg_sets[j] for j in seg_rows.tolist()]
-            charge.pair_overlap = overlaps.tolist()
-        charged[res_id] = charge
-    plans: list[list[_ColumnarCharge]] = [
-        [charged[rid] for rid, _, _ in plan] for plan in plan_raw
-    ]
-    # The ordered fold: the one remaining per-interval loop, walking
-    # precomputed columns — no trackers, no deques, no span objects.
-    # The single-device charge (the hot kind) is _charge_named inlined,
-    # with the reconstructed-total accumulator held in a local: the
-    # adds happen to the same running value in the same order, so the
-    # bits match the streaming accumulator exactly (the helper remains
-    # the streaming path's implementation and this loop's spec; the
-    # shared golden digests pin the two against each other).
-    energy_j = emap.energy_j
-    energy_get = energy_j.get
     name_of = registry.name_of
-    dt_ns_list = dt_ns.tolist()
-    vec_list = interval_vec.tolist()
-    recon = emap.reconstructed_energy_j
-    for i in range(n_intervals):
-        const_j = const_list[i]
-        energy_j[_CONST_PAIR] = energy_get(_CONST_PAIR, 0.0) + const_j
-        recon += const_j
-        for charge in plans[vec_list[i]]:
-            cursor = charge.cursor
-            charge.cursor = cursor + 1
-            joules = charge.joules[cursor]
-            component = charge.components[cursor]
-            kind = charge.kind
-            if kind == _ColumnarCharge.KIND_SINGLE:
-                start = charge.offsets[cursor]
-                stop = charge.offsets[cursor + 1]
-                named: dict[str, int] = {}
-                covered = 0
-                pair_names = charge.pair_names
-                pair_overlap = charge.pair_overlap
-                for k in range(start, stop):
-                    name = pair_names[k]
-                    overlap = pair_overlap[k]
-                    named[name] = named.get(name, 0) + overlap
-                    covered += overlap
-                idle_ns = dt_ns_list[i] - covered
-                if idle_ns > 0:
-                    named[idle_name] = named.get(idle_name, 0) + idle_ns
-                    covered += idle_ns
-                if not covered:
-                    covered = 1
-                for activity, share_ns in named.items():
-                    key = (component, activity)
-                    joule_share = joules * (share_ns / covered)
-                    energy_j[key] = energy_get(key, 0.0) + joule_share
-                    recon += joule_share
-            elif kind == _ColumnarCharge.KIND_MULTI:
-                start = charge.offsets[cursor]
-                stop = charge.offsets[cursor + 1]
-                shares = _multi_shares(
-                    zip(charge.pair_sets[start:stop],
-                        charge.pair_overlap[start:stop]),
-                    dt_ns_list[i], idle_name, name_of)
-                for activity, fraction in shares.items():
-                    key = (component, activity)
-                    joule_share = joules * fraction
-                    energy_j[key] = energy_get(key, 0.0) + joule_share
-                    recon += joule_share
-            else:
-                key = (component, UNTRACKED_KEY)
-                energy_j[key] = energy_get(key, 0.0) + joules
-                recon += joules
-    emap.reconstructed_energy_j = recon
+    # The fold itself: vectorized when every interval is strictly
+    # positive (always, on simulator logs — boundaries only emit at
+    # strictly increasing times), scalar reference otherwise (the
+    # degenerate share denominators the stream form cannot express).
+    fold = _fold_stream if bool((dt_ns > 0).all()) else _fold_reference
+    fold(emap, timeline, plan_raw, dt_ns, dt_s, const_arr, label_name,
+         _name_of_value, fold_proxies, idle_name, name_of)
     # Time breakdown (Table 3a), in the accumulator's finish order:
     # sorted devices, then per-name totals in first-closed order — the
     # same per-device name→ns accumulation the streaming trackers keep,
     # computed here from the segment columns (int sums, exact).
+    # Single devices, fused: one grouping sort over every device's
+    # segments (device-major), int span sums (exact, order-free), and
+    # a replay in global first-occurrence order — which is exactly
+    # device order then per-device name first-occurrence order, the
+    # accumulator's finish order.
+    dev_comp: list[str] = []
+    dev_vals: list[int] = []
+    dev_spans: list[np.ndarray] = []
+    dev_rows: list[np.ndarray] = []
     for res_id in timeline.single_device_ids():
         single = timeline.single_columns(res_id)
         if single is None or not len(single):
             continue
-        component = component_names.get(res_id, f"res{res_id}")
-        spans = (single.t1 - single.t0).tolist()
-        per_name: dict[str, int] = {}
-        get_name = label_name.get
+        d = len(dev_comp)
+        dev_comp.append(component_names.get(res_id, f"res{res_id}"))
         if fold_proxies:
-            for label, bound, span in zip(single.labels, single.bound,
-                                          spans):
-                value = bound if bound is not None else label
-                name = get_name(value)
-                if name is None:
-                    name = _name_of_value(value)
-                per_name[name] = per_name.get(name, 0) + span
+            dev_vals.extend(
+                b if b is not None else label
+                for label, b in zip(single.labels, single.bound))
         else:
-            for label, span in zip(single.labels, spans):
-                name = get_name(label)
-                if name is None:
-                    name = _name_of_value(label)
-                per_name[name] = per_name.get(name, 0) + span
-        for name, total_ns in per_name.items():
-            emap.add_time(component, name, total_ns)
+            dev_vals.extend(single.labels)
+        dev_spans.append(single.t1 - single.t0)
+        dev_rows.append(np.full(len(single.labels), d, dtype=np.int64))
+    if dev_comp:
+        vals_arr = np.asarray(dev_vals, dtype=np.int64)
+        spans_arr = np.concatenate(dev_spans)
+        rows_arr = np.concatenate(dev_rows)
+        uvals, uinv = np.unique(vals_arr, return_inverse=True)
+        unames = [_name_of_value(value) for value in uvals.tolist()]
+        group_key = rows_arr * len(uvals) + uinv
+        order = np.argsort(group_key, kind="stable")
+        sorted_key = group_key[order]
+        first = np.empty(len(sorted_key), dtype=bool)
+        first[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=first[1:])
+        group_starts = np.nonzero(first)[0]
+        group_first = order[group_starts]
+        group_total = np.add.reduceat(spans_arr[order], group_starts)
+        group_dev = rows_arr[group_first].tolist()
+        group_val = uinv[group_first].tolist()
+        totals = group_total.tolist()
+        time_ns = emap.time_ns
+        for g in np.argsort(group_first, kind="stable").tolist():
+            key = (dev_comp[group_dev[g]], unames[group_val[g]])
+            time_ns[key] = time_ns.get(key, 0) + totals[g]
     for res_id in timeline.multi_device_ids():
         multi = timeline.multi_columns(res_id)
         if multi is None or not len(multi):

@@ -56,7 +56,10 @@ class SingleActivityDevice:
         current = self._current
         # Identity first: labels are widely interned (decode cache, app
         # references), making the common idempotent set pointer-cheap.
-        if new is current or new == current:
+        # The fallback compares the 16-bit wire encodings — injective in
+        # (origin, aid), so it is exactly label equality without the
+        # dataclass tuple comparison.
+        if new is current or new._encoded == current._encoded:
             return
         self._current = new
         self.change_count += 1

@@ -49,7 +49,8 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from math import floor
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -186,6 +187,10 @@ class QuantoLogger:
         self._dumped: list[tuple[int, int, int, int, int]] = []
         self._packed_cache: Optional[bytes] = None
         self._packed_count = -1
+        # Fused-batch decode (decode_batch) parks this log's decoded
+        # columns here, keyed by entry count; columns() serves them
+        # without re-decoding.
+        self._columns_cache: Optional[tuple[int, "LogColumns"]] = None
         self._append = self._buffer.append
         self._read_icount = icount.read
         # Per-record constants, hoisted off the synchronous path: the
@@ -214,6 +219,7 @@ class QuantoLogger:
         self._dumped.clear()
         self._packed_cache = None
         self._packed_count = -1
+        self._columns_cache = None
         self.enabled = True
         self.stopped_on_overflow = False
         self.records_written = 0
@@ -248,7 +254,40 @@ class QuantoLogger:
         mcu._pending_cycles = pending
         virtual_ns = mcu._job_start_ns + pending * self._cycle_ns
         time_us = (virtual_ns // 1000) & 0xFFFFFFFF
-        pulses = self._read_icount(virtual_ns) & 0xFFFFFFFF
+        # Inlined ICountMeter.read(virtual_ns): one read per record
+        # makes its call frame real overhead too.  Same statements in
+        # the same order — the rail integration, the mid-job
+        # extrapolation, the jitter draw, and the monotone clamp are
+        # exactly read()'s (see icount.py for the commentary).
+        meter = self.icount
+        rail = meter.rail
+        now = rail.sim._now
+        dt_ns = now - rail._last_update_ns
+        if dt_ns > 0:
+            total = rail._total_amps
+            if total:
+                dt_s = dt_ns * 1e-9
+                voltage = rail.voltage
+                rail._energy_j += voltage * total * dt_s
+                sink_energy = rail._sink_energy_j
+                for name, handle in rail._hot.items():
+                    sink_energy[name] += voltage * handle._amps * dt_s
+            rail._last_update_ns = now
+        energy = rail._energy_j
+        ahead_ns = virtual_ns - now
+        if ahead_ns > 0:
+            energy += rail._total_amps * rail.voltage * ahead_ns * 1e-9
+        count = energy / meter._effective_j
+        gauss = meter._gauss
+        if gauss is not None:
+            count += gauss()
+        pulses = floor(count)
+        last = meter._last_count
+        if pulses < last:
+            # Jitter must never make the counter run backwards.
+            pulses = last
+        meter._last_count = pulses
+        pulses &= 0xFFFFFFFF
         if len(self._buffer) >= self.buffer_entries:
             if self.strict_overflow:
                 raise LogOverflowError(
@@ -419,6 +458,9 @@ class QuantoLogger:
         :class:`LogEntry` is ever allocated.
         """
         total = len(self._dumped) + len(self._buffer)
+        cached = self._columns_cache
+        if cached is not None and cached[0] == total:
+            return cached[1]
         if self._packed_count == total and self._packed_cache is not None:
             return decode_columns(self._packed_cache)
         records = np.empty(total, dtype=ENTRY_DTYPE)
@@ -626,3 +668,79 @@ def decode_columns(raw: bytes) -> LogColumns:
             f"log length {len(raw)} is not a multiple of {ENTRY_SIZE}"
         )
     return _unwrap_records(np.frombuffer(raw, dtype=ENTRY_DTYPE))
+
+
+def decode_batch_records(
+    records: np.ndarray, counts: Sequence[int],
+) -> list[LogColumns]:
+    """Decode K concatenated logs from one structured array in one fused
+    pass: a single vectorized unwrap whose wrap state resets at every
+    world boundary, then per-world column slices.
+
+    ``records`` holds the K logs back to back; ``counts[i]`` is world
+    i's entry count.  The unwrap computes the *global* cumulative wrap
+    count once, then subtracts each world's value at its first row —
+    which cancels every wrap flagged before (or at) that row, including
+    the spurious flag a ragged world boundary itself raises — so each
+    world's slice carries exactly the wrap bases its own serial decode
+    would, bit for bit.
+    """
+    if sum(counts) != len(records):
+        raise LoggerError(
+            f"batch counts sum to {sum(counts)}, got {len(records)} records")
+    total = len(records)
+    time_us = records["time"].astype(np.int64)
+    icount = records["ic"].astype(np.int64)
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    if total > 1:
+        # An empty trailing world's start offset equals ``total``; clip
+        # it — no row maps to an empty world, so the value is unused.
+        starts = np.minimum(offsets[:-1], total - 1)
+        world_of_row = np.repeat(
+            np.arange(len(counts), dtype=np.int64), counts)
+        for field in (time_us, icount):
+            wraps = np.zeros(total, dtype=np.int64)
+            np.cumsum(np.diff(field) < 0, out=wraps[1:])
+            wraps -= wraps[starts][world_of_row]
+            field += wraps << 32
+    type_col = records["type"].copy()
+    res_col = records["res_id"].copy()
+    time_ns = time_us * 1000
+    value = records["value"].astype(np.int64)
+    worlds = []
+    for index in range(len(counts)):
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        worlds.append(LogColumns(
+            type=type_col[lo:hi],
+            res_id=res_col[lo:hi],
+            time_ns=time_ns[lo:hi],
+            icount=icount[lo:hi],
+            value=value[lo:hi],
+        ))
+    return worlds
+
+
+def decode_batch(loggers: Sequence["QuantoLogger"]) -> list[LogColumns]:
+    """Fused decode of K loggers' raw-tuple rings.
+
+    Builds one structured array over the concatenated shipped+resident
+    tuples (no per-logger ``raw_bytes`` materialization), runs the
+    batched unwrap, and parks each logger's columns in its
+    ``_columns_cache`` so the analysis layer's ``columns()`` call is a
+    cache hit.  Returns the per-world columns in logger order.
+    """
+    stores = [(lg._dumped, lg._buffer) for lg in loggers]
+    counts = [len(d) + len(b) for d, b in stores]
+    records = np.empty(sum(counts), dtype=ENTRY_DTYPE)
+    offset = 0
+    for (dumped, buffer), count in zip(stores, counts):
+        if count:
+            # Fields were masked at record time, so the tuples fit the
+            # wire widths exactly; numpy casts them in bulk.
+            records[offset:offset + count] = dumped + buffer
+        offset += count
+    worlds = decode_batch_records(records, counts)
+    for logger, count, columns in zip(loggers, counts, worlds):
+        logger._columns_cache = (count, columns)
+    return worlds

@@ -55,12 +55,14 @@ class PowerStateVar:
 
     def set(self, value: int) -> None:
         """Set the power state.  Idempotent: no change, no notification."""
+        # Idempotent first: the stored value already passed the range
+        # check when it was set, so equality implies validity.
+        if value == self._value:
+            return
         if not 0 <= value <= 0xFFFF:
             raise PowerModelError(
                 f"{self.name}: power state {value} does not fit in 16 bits"
             )
-        if value == self._value:
-            return
         self._value = value
         self.change_count += 1
         for tracker in self._trackers:

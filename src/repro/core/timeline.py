@@ -777,22 +777,32 @@ class ColumnarTimeline:
             fill = np.searchsorted(writes, queries, side="left") - 1
             seen = fill >= 0
             value_matrix[seen, column_index] = write_values[fill[seen]]
-        intern: dict[tuple[int, ...], int] = {}
-        vec_ids = []
+        # Intern equal rows, numbered in first-occurrence order (the
+        # order the streaming tracker would have produced): byte-view
+        # unique + a first-index renumbering, no per-row python.
+        matrix = np.ascontiguousarray(value_matrix)
+        if matrix.shape[1]:
+            row_view = matrix.view(
+                [("", matrix.dtype)] * matrix.shape[1]).ravel()
+            _, first_idx, inverse = np.unique(
+                row_view, return_index=True, return_inverse=True)
+        else:
+            first_idx = np.zeros(min(len(matrix), 1), dtype=np.intp)
+            inverse = np.zeros(len(matrix), dtype=np.intp)
+        rank = np.argsort(first_idx, kind="stable")
+        remap = np.empty(len(first_idx), dtype=np.intp)
+        remap[rank] = np.arange(len(first_idx), dtype=np.intp)
         vectors = self.vectors
-        for row in value_matrix.tolist():
-            key = tuple(row)
-            vec_id = intern.get(key)
-            if vec_id is None:
-                vec_id = intern[key] = len(vectors)
-                vectors.append(tuple(
-                    (rid, value) for rid, value in zip(sink_ids, row)
-                    if value != -1))
-            vec_ids.append(vec_id)
+        for row_index in first_idx[rank].tolist():
+            vectors.append(tuple(
+                (rid, value)
+                for rid, value in zip(sink_ids,
+                                      value_matrix[row_index].tolist())
+                if value != -1))
         self.interval_t0 = t0s
         self.interval_t1 = t1s
         self.interval_pulses = pulses
-        self.interval_vec = np.array(vec_ids, dtype=np.intp)
+        self.interval_vec = remap[inverse]
 
     def _build_single(self, pos: np.ndarray) -> _SingleColumns:
         """One device's change/bind rows → segment columns, with the
@@ -955,30 +965,45 @@ class ColumnarTimeline:
         the regression's ``(E_j, t_j)`` inputs, bit-identical to
         :func:`repro.core.regression.group_intervals` over the usable
         materialized intervals (same first-occurrence group order, same
-        int time sums, same float energy fold)."""
-        time_by_state: dict[tuple[tuple[int, int], ...], int] = {}
-        energy_by_state: dict[tuple[tuple[int, int], ...], float] = {}
-        vectors = self.vectors
-        usable = 0
-        for t0, t1, p, v in zip(
-                self.interval_t0.tolist(), self.interval_t1.tolist(),
-                self.interval_pulses.tolist(), self.interval_vec.tolist()):
-            dt = t1 - t0
-            if dt < min_interval_ns:
-                continue
-            usable += 1
-            key = vectors[v]
-            time_by_state[key] = time_by_state.get(key, 0) + dt
-            energy_by_state[key] = (
-                energy_by_state.get(key, 0.0) + p * energy_per_pulse_j
-            )
-        if not usable:
+        int time sums, same float energy fold).
+
+        ``np.bincount(idx, weights=w)`` accumulates each bin's weights
+        sequentially in array order starting from ``0.0`` — exactly the
+        ``dict.get(key, 0.0) + x`` fold the scalar loop performs, so the
+        per-group energy sums here are bit-identical to it (time sums
+        are exact int64 arithmetic regardless)."""
+        dt = self.interval_t1 - self.interval_t0
+        keep = dt >= min_interval_ns
+        if not bool(keep.any()):
             raise RegressionError("no usable power intervals")
-        grouped = list(time_by_state)
+        vec = self.interval_vec[keep]
+        # interval_vec is already a dense code (an index into
+        # self.vectors), so grouping needs no sort: a reversed fancy
+        # assignment yields each code's first-occurrence row (last
+        # write wins), an argsort over the handful of present codes
+        # gives first-occurrence order, and a remap renumbers rows.
+        n_vecs = len(self.vectors)
+        n_rows = len(vec)
+        first_row = np.full(n_vecs, -1, dtype=np.int64)
+        first_row[vec[::-1]] = np.arange(
+            n_rows - 1, -1, -1, dtype=np.int64)
+        present = np.nonzero(first_row >= 0)[0]
+        ordered = present[np.argsort(first_row[present], kind="stable")]
+        remap = np.full(n_vecs, -1, dtype=np.intp)
+        remap[ordered] = np.arange(len(ordered), dtype=np.intp)
+        groups = remap[vec]
+        times = np.bincount(
+            groups, weights=dt[keep], minlength=len(ordered))
+        energies = np.bincount(
+            groups,
+            weights=self.interval_pulses[keep] * energy_per_pulse_j,
+            minlength=len(ordered))
+        vectors = self.vectors
+        grouped = [vectors[v] for v in ordered.tolist()]
         return (
             grouped,
-            [time_by_state[v] for v in grouped],
-            [energy_by_state[v] for v in grouped],
+            [int(t) for t in times.tolist()],
+            energies.tolist(),
         )
 
 

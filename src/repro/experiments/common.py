@@ -16,8 +16,9 @@ import importlib
 import inspect
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.core.report import format_table
 from repro.errors import ExperimentParameterError
@@ -319,6 +320,125 @@ def _blink_world_key(node_id: int, node_kwargs: dict) -> Optional[tuple]:
     return (node_id, tuple(items))
 
 
+# -- batched execution ------------------------------------------------------
+
+#: The announced batch plan: the seeds of the points about to run, in
+#: order.  Set by :func:`blink_batch_plan` (the sweep's batched executor
+#: and :func:`run_batch` use it); consulted by :func:`run_blink`.
+_BATCH_PLAN: Optional[tuple[int, ...]] = None
+
+#: Configs already batch-simulated under the current plan (so a second
+#: same-config ``run_blink`` call inside one experiment run falls back
+#: to the serial path instead of re-simulating the whole chunk).
+_BATCH_DONE: set = set()
+
+#: Simulated-but-not-yet-consumed batch worlds: ``(key, duration, seed)
+#: -> (node, app, sim)``.  Entries are popped when their point runs.
+_BATCH_POOL: "OrderedDict[tuple, tuple]" = OrderedDict()
+_BATCH_POOL_MAX = 64
+
+#: World objects constructed for batching, per config key — the batch
+#: path's analogue of ``_BLINK_WORLDS``: reset and re-run chunk after
+#: chunk (warm start), never shared with the serial cache.
+_BATCH_WORLDS_BY_KEY: "OrderedDict[tuple, list]" = OrderedDict()
+_BATCH_WORLDS_MAX_KEYS = 2
+
+
+@contextmanager
+def blink_batch_plan(seeds: Iterable[int]):
+    """Announce the seeds of the points about to run.
+
+    Inside the context, the first ``run_blink`` call whose seed heads
+    the plan simulates *all* planned seeds for its configuration as one
+    interleaved batch (:class:`~repro.sim.batch.BatchSimulator`) and
+    pools the results; each later same-config call pops its own world
+    from the pool.  Configurations that never match the plan — or
+    experiments that never call ``run_blink`` — run serially, so the
+    plan is always safe to announce.
+    """
+    global _BATCH_PLAN
+    previous, previous_done = _BATCH_PLAN, set(_BATCH_DONE)
+    _BATCH_PLAN = tuple(int(seed) for seed in seeds)
+    _BATCH_DONE.clear()
+    try:
+        yield
+    finally:
+        _BATCH_PLAN = previous
+        _BATCH_DONE.clear()
+        _BATCH_DONE.update(previous_done)
+
+
+def clear_batch_worlds() -> None:
+    """Drop pooled batch results and cached batch worlds (tests)."""
+    _BATCH_POOL.clear()
+    _BATCH_WORLDS_BY_KEY.clear()
+    _BATCH_DONE.clear()
+
+
+def _run_blink_batch(
+    seeds: tuple[int, ...],
+    duration_ns: int,
+    node_id: int,
+    node_kwargs: dict,
+    key: tuple,
+) -> None:
+    """Simulate every planned seed for one configuration as a batch and
+    pool the finished worlds.
+
+    The K worlds run interleaved on one shared calendar queue; each
+    world's schedule, rng streams, and log are bit-identical to its
+    serial run (``tests/test_batched.py`` gates this per experiment).
+    Afterwards the K logs are decoded in one fused pass
+    (:func:`repro.core.logger.decode_batch`), so each point's analysis
+    starts from already-decoded columns without materializing
+    ``raw_bytes``.
+    """
+    from repro.apps.blink import BlinkApp
+    from repro.core.logger import decode_batch
+    from repro.sim.batch import BatchSimulator
+
+    # Reclaim this config's worlds: pooled siblings from an abandoned
+    # earlier plan are dropped (a late request falls back serial).
+    for pool_key in [k for k in _BATCH_POOL if k[0] == key]:
+        del _BATCH_POOL[pool_key]
+    reuse = warm_start_enabled()
+    stock = _BATCH_WORLDS_BY_KEY.get(key, []) if reuse else []
+    worlds = []
+    for seed in seeds:
+        if stock:
+            sim, node = stock.pop()
+            node.reset(seed)
+        else:
+            sim = Simulator()
+            node = QuantoNode(
+                sim, NodeConfig(node_id=node_id, **node_kwargs),
+                rng_factory=RngFactory(seed),
+            )
+        worlds.append((sim, node))
+    batch = BatchSimulator([sim for sim, _ in worlds])
+    batch.attach()
+    apps = []
+    for _, node in worlds:
+        app = BlinkApp()
+        node.boot(app.start)
+        apps.append(app)
+    batch.run(until=duration_ns)
+    batch.detach()
+    for _, node in worlds:
+        node.mark_log_end()
+    decode_batch([node.logger for _, node in worlds])
+    for (sim, node), app, seed in zip(worlds, apps, seeds):
+        _BATCH_POOL[(key, duration_ns, seed)] = (node, app, sim)
+        while len(_BATCH_POOL) > _BATCH_POOL_MAX:
+            _BATCH_POOL.popitem(last=False)
+    if reuse:
+        _BATCH_WORLDS_BY_KEY[key] = [
+            (sim, node) for sim, node in worlds]
+        _BATCH_WORLDS_BY_KEY.move_to_end(key)
+        while len(_BATCH_WORLDS_BY_KEY) > _BATCH_WORLDS_MAX_KEYS:
+            _BATCH_WORLDS_BY_KEY.popitem(last=False)
+
+
 def run_blink(
     seed: int = 0,
     duration_ns: int = seconds(48),
@@ -343,9 +463,25 @@ def run_blink(
     """
     from repro.apps.blink import BlinkApp
 
+    batch_key = _blink_world_key(node_id, node_kwargs)
+    if batch_key is not None:
+        pooled = _BATCH_POOL.pop((batch_key, duration_ns, seed), None)
+        if pooled is not None:
+            return pooled
+        plan = _BATCH_PLAN
+        if plan is not None and len(plan) > 1 and plan[0] == seed:
+            done_key = (batch_key, duration_ns)
+            if done_key not in _BATCH_DONE:
+                _BATCH_DONE.add(done_key)
+                _run_blink_batch(plan, duration_ns, node_id,
+                                 node_kwargs, batch_key)
+                pooled = _BATCH_POOL.pop(
+                    (batch_key, duration_ns, seed), None)
+                if pooled is not None:
+                    return pooled
+
     node = None
-    key = _blink_world_key(node_id, node_kwargs) \
-        if warm_start_enabled() else None
+    key = batch_key if warm_start_enabled() else None
     if key is not None:
         world = _BLINK_WORLDS.get(key)
         if world is not None:
@@ -366,6 +502,35 @@ def run_blink(
     node.boot(app.start)
     sim.run(until=duration_ns)
     return node, app, sim
+
+
+def run_batch(
+    exp_id: str,
+    seeds: Iterable[int],
+    overrides: Optional[dict[str, Any]] = None,
+    k: int = 8,
+) -> list[ExperimentResult]:
+    """Run one experiment over many seeds, K worlds per batch.
+
+    Seeds are chunked into groups of ``k``; within a chunk, experiments
+    that route through :func:`run_blink` simulate all their worlds
+    interleaved on one shared calendar queue and analyze their logs off
+    one fused decode.  Results are bit-identical to per-seed
+    :func:`run_experiment` calls (``tests/test_batched.py`` gates every
+    experiment's digests at several K) — batching only changes wall
+    time.  Experiments that never enter the blink path just run
+    serially, so ``run_batch`` is safe for any experiment id.
+    """
+    seeds = [int(seed) for seed in seeds]
+    k = max(1, int(k))
+    results = []
+    for start in range(0, len(seeds), k):
+        chunk = seeds[start:start + k]
+        with blink_batch_plan(chunk):
+            for seed in chunk:
+                results.append(
+                    run_experiment(exp_id, seed=seed, overrides=overrides))
+    return results
 
 
 def lanes_for(

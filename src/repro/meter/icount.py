@@ -21,7 +21,7 @@ small white *jitter* on each read (pulse-edge phase noise).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.hw.power import PowerRail
 
@@ -66,11 +66,46 @@ class ICountMeter:
         self._effective_j = (
             self.nominal_energy_per_pulse_j * (1.0 + self.gain_error)
         )
-        # read() is the log's per-record cost: the jitter draw is bound
-        # once (the stream object is stable — warm-start reseeds it in
-        # place) instead of two attribute hops per read.
-        self._gauss = rng.gauss if (self.jitter_pulses and rng is not None) \
-            else None
+        # read() is the log's per-record cost: the jitter draw is a
+        # closure replica of ``random.Random.gauss(0.0, sigma)`` with the
+        # uniform source, sigma, and libm functions bound once (the
+        # stream object is stable — warm-start reseeds it in place).
+        # The cached-pair state lives in ``_jitter_state`` so reset()
+        # can clear it exactly like ``seed()`` clears ``gauss_next``.
+        self._jitter_state: list[Optional[float]] = [None]
+        if self.jitter_pulses and rng is not None:
+            self._gauss = self._make_jitter(
+                rng, self.jitter_pulses, self._jitter_state)
+        else:
+            self._gauss = None
+
+    @staticmethod
+    def _make_jitter(
+        rng, sigma: float, state: list
+    ) -> "Callable[[], float]":
+        """Bit-identical closure form of ``rng.gauss(0.0, sigma)``:
+        same polar-pair recurrence over the same uniform stream, same
+        ``mu + z*sigma`` arithmetic (``mu = 0.0`` kept explicit so the
+        signed-zero behavior matches), with the spare draw cached in
+        ``state[0]`` instead of ``rng.gauss_next``."""
+        uniform = rng.random
+        cos = math.cos
+        sin = math.sin
+        log = math.log
+        sqrt = math.sqrt
+        twopi = 2.0 * math.pi
+
+        def draw() -> float:
+            z = state[0]
+            state[0] = None
+            if z is None:
+                x2pi = uniform() * twopi
+                g2rad = sqrt(-2.0 * log(1.0 - uniform()))
+                z = cos(x2pi) * g2rad
+                state[0] = sin(x2pi) * g2rad
+            return 0.0 + z * sigma
+
+        return draw
 
     @property
     def effective_energy_per_pulse_j(self) -> float:
@@ -80,8 +115,11 @@ class ICountMeter:
     def reset(self) -> None:
         """Warm-start reset: rewind the monotone counter clamp.  The rng
         stream is re-seeded by the factory, and the calibration constants
-        are per-config, so nothing else here is run state."""
+        are per-config, so nothing else here is run state.  The cached
+        jitter pair is cleared because the factory's in-place ``seed()``
+        clears ``gauss_next`` on the real generator."""
         self._last_count = 0
+        self._jitter_state[0] = None
 
     def read(self, at_ns: Optional[int] = None) -> int:
         """Current pulse count (monotone, uint32 semantics handled by the
@@ -119,7 +157,7 @@ class ICountMeter:
                 energy += rail._total_amps * rail.voltage * ahead_ns * 1e-9
         count = energy / self._effective_j
         if self._gauss is not None:
-            count += self._gauss(0.0, self.jitter_pulses)
+            count += self._gauss()
         pulses = math.floor(count)
         if pulses < self._last_count:
             # Jitter must never make the counter run backwards.

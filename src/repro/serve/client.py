@@ -112,7 +112,7 @@ async def stream_node(address: Address, node, *, stride_ns: int,
                       on_chunk=None) -> dict:
     """Stream one simulated node's full log to the server."""
     hello = hello_for_node(node, stride_ns=stride_ns)
-    raw = bytes(node.logger.raw_bytes())
+    raw = node.logger.raw_bytes()
     return await stream_raw(address, hello, raw, chunk_size=chunk_size,
                             on_chunk=on_chunk)
 

@@ -1,0 +1,213 @@
+"""Batched execution: K independent worlds on one shared calendar queue.
+
+A sweep point is a few milliseconds of work, so the per-point fixed
+costs — entering and leaving the event loop, per-world decode, pool
+dispatch — are real money at campaign scale.  :class:`BatchSimulator`
+runs K *independent* :class:`~repro.sim.engine.Simulator` worlds
+interleaved on a single shared calendar queue, amortizing the loop and
+letting the analysis layer decode all K logs in one fused pass
+(:func:`repro.core.logger.decode_batch`).
+
+Correctness argument (the per-world runs are **bit-identical** to their
+serial counterparts, gated by ``tests/test_batched.py``):
+
+* Worlds never interact: every event belongs to exactly one world (its
+  ``Event._sim`` tag), callbacks only touch that world's state, and rng
+  streams are per-world objects.
+* Per-world virtual time is preserved: the shared queue pops in global
+  ``(time, FIFO-within-timestamp)`` order and sets the owning world's
+  clock to the event time before firing, so a world's clock takes
+  exactly the same sequence of values as in its serial run.  A firing
+  world only ever schedules at or after its own clock, which equals the
+  global pop time, so the global queue never needs to travel backwards.
+* Per-world event order is preserved: attaching gives world ``i`` the
+  disjoint sequence-number range ``[i << 40, (i+1) << 40)``, so within a
+  world the shared queue's ``(time, seq)`` order is exactly the serial
+  ``(time, seq)`` order (a monotone relabeling), and bucket FIFO order
+  restricted to one world is that world's scheduling order.  Worlds
+  interleave *between* each other at equal timestamps, which no world
+  can observe.
+
+The queue structures (bucket dict, bucket-time heap, overflow heap) are
+literally shared between the attached simulators — ``Simulator.at``
+needs no batch-awareness; it just appends into whatever structures its
+instance holds.  ``attach()`` requires idle, empty-queue (freshly
+reset) worlds; ``detach()`` hands each world its still-queued events
+back as a private overflow heap so post-run steps (``mark_log_end``,
+further serial running) behave exactly as after a serial run.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.engine import NEAR_WINDOW_NS, Simulator
+
+#: Width of one world's private sequence-number range.  A 48-second run
+#: schedules a few hundred thousand events; 2^40 leaves six orders of
+#: magnitude of headroom while keeping K * 2^40 far below 2^63.
+WORLD_SEQ_STRIDE = 1 << 40
+
+
+class BatchSimulator:
+    """Drive K attached worlds to a common horizon on one shared queue."""
+
+    def __init__(self, sims: Sequence[Simulator]) -> None:
+        if not sims:
+            raise SimulationError("a batch needs at least one world")
+        if len(set(map(id, sims))) != len(sims):
+            raise SimulationError("duplicate world in batch")
+        self._sims: tuple[Simulator, ...] = tuple(sims)
+        self._attached = False
+        self._buckets: dict = {}
+        self._times: list = []
+        self._overflow: list = []
+        self._horizon = NEAR_WINDOW_NS
+
+    # -- attach / detach -------------------------------------------------
+
+    def attach(self) -> None:
+        """Splice the worlds onto one shared queue.
+
+        Every world must be idle with an empty queue (i.e. freshly
+        ``reset()``) — attach happens *before* boot, so all scheduling,
+        from the boot task on, lands in the shared structures.
+        """
+        if self._attached:
+            raise SimulationError("batch already attached")
+        for sim in self._sims:
+            if sim._running:
+                raise SimulationError("cannot attach a running simulator")
+            if getattr(sim, "_batch", None) is not None:
+                raise SimulationError("simulator already in a batch")
+            if sim._live or sim._buckets or sim._overflow:
+                raise SimulationError(
+                    "cannot attach a simulator with queued events; "
+                    "reset it first")
+        self._buckets = {}
+        self._times = []
+        self._overflow = []
+        self._horizon = NEAR_WINDOW_NS
+        for index, sim in enumerate(self._sims):
+            sim._buckets = self._buckets
+            sim._times = self._times
+            sim._overflow = self._overflow
+            sim._seq = index * WORLD_SEQ_STRIDE
+            sim._horizon = self._horizon
+            sim._batch = self
+        self._attached = True
+
+    def detach(self) -> None:
+        """Give each world its queued events back as private structures.
+
+        Remaining events keep their ``(time, seq)`` order per world (the
+        global seq is monotone in each world's scheduling order), so a
+        detached world continues exactly as if it had run serially: its
+        leftovers sit in its own overflow heap and migrate into fresh
+        buckets on the next run.
+        """
+        if not self._attached:
+            raise SimulationError("batch is not attached")
+        per_world: dict[int, list] = {id(sim): [] for sim in self._sims}
+        for bucket in self._buckets.values():
+            for event in bucket:
+                if event.alive:
+                    per_world[id(event._sim)].append(
+                        (event.time, event.seq, event))
+        for time_ns, seq, event in self._overflow:
+            if event.alive:
+                per_world[id(event._sim)].append((time_ns, seq, event))
+        for sim in self._sims:
+            leftovers = per_world[id(sim)]
+            heapify(leftovers)
+            sim._buckets = {}
+            sim._times = []
+            sim._overflow = leftovers
+            sim._horizon = NEAR_WINDOW_NS
+            sim._batch = None
+        self._buckets = {}
+        self._times = []
+        self._overflow = []
+        self._attached = False
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run all worlds' events in global ``(time, FIFO)`` order.
+
+        Mirrors :meth:`Simulator.run` (same fused peek/pop loop over the
+        calendar-queue/heap hybrid) with the single addition that each
+        fire first sets the owning world's clock.  At the end every
+        world's clock is advanced to ``until``, exactly as its own
+        ``run(until=...)`` would have done.
+        """
+        if not self._attached:
+            raise SimulationError("batch is not attached")
+        for sim in self._sims:
+            if sim._running:
+                raise SimulationError(
+                    "simulator is already running (reentrant run)")
+        for sim in self._sims:
+            sim._running = True
+        times = self._times
+        buckets = self._buckets
+        try:
+            while True:
+                if times:
+                    time_ns = times[0]
+                    bucket = buckets[time_ns]
+                    while bucket:
+                        event = bucket[0]
+                        if event.alive:
+                            break
+                        del bucket[0]
+                    if not bucket:
+                        heappop(times)
+                        del buckets[time_ns]
+                        continue
+                elif self._overflow:
+                    self._advance_horizon()
+                    continue
+                else:
+                    break
+                if until is not None and time_ns > until:
+                    break
+                del bucket[0]
+                if not bucket:
+                    heappop(times)
+                    del buckets[time_ns]
+                event._queued = False
+                world = event._sim
+                world._live -= 1
+                world._now = time_ns
+                world._events_executed += 1
+                event.fn(*event.args)
+        finally:
+            for sim in self._sims:
+                sim._running = False
+        if until is not None:
+            for sim in self._sims:
+                if until > sim._now:
+                    sim._now = until
+
+    def _advance_horizon(self) -> None:
+        """Buckets are dry: advance the shared horizon past the overflow
+        head and migrate, then mirror the new horizon into every world
+        so their ``at()`` keeps a consistent bucket/overflow split."""
+        overflow = self._overflow
+        horizon = overflow[0][0] + NEAR_WINDOW_NS
+        buckets = self._buckets
+        times = self._times
+        while overflow and overflow[0][0] < horizon:
+            time_ns, _, event = heappop(overflow)
+            bucket = buckets.get(time_ns)
+            if bucket is None:
+                buckets[time_ns] = [event]
+                heappush(times, time_ns)
+            else:
+                bucket.append(event)
+        self._horizon = horizon
+        for sim in self._sims:
+            sim._horizon = horizon

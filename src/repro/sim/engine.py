@@ -102,6 +102,10 @@ class Simulator:
         self._live = 0  # alive events currently queued (O(1) pending())
         self._running = False
         self._events_executed = 0
+        # Set while attached to a BatchSimulator (the queue structures
+        # are then shared with the other attached worlds); run()/step()
+        # refuse to drive a shared queue with a single world's clock.
+        self._batch = None
 
     # -- clock ---------------------------------------------------------
 
@@ -216,6 +220,9 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next live event.  Returns False if the queue is empty."""
+        if self._batch is not None:
+            raise SimulationError(
+                "simulator is attached to a batch; run the batch instead")
         head = self._peek()
         if head is None:
             return False
@@ -235,6 +242,9 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run)")
+        if self._batch is not None:
+            raise SimulationError(
+                "simulator is attached to a batch; run the batch instead")
         self._running = True
         executed = 0
         times = self._times
@@ -301,6 +311,9 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("cannot reset a running simulator")
+        if self._batch is not None:
+            raise SimulationError(
+                "cannot reset a simulator attached to a batch; detach first")
         for bucket in self._buckets.values():
             for event in bucket:
                 event.alive = False

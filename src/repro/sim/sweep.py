@@ -69,7 +69,9 @@ from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 from repro.core.accounting import BACKEND_ENV_VAR, resolve_analysis_backend
 from repro.core.report import format_table
 from repro.errors import SweepError
-from repro.experiments.common import experiment_params, run_experiment
+from repro.experiments.common import (
+    blink_batch_plan, experiment_params, run_experiment,
+)
 from repro.sim.shardstore import ShardStore
 
 #: Start method for worker processes.  ``fork`` is preferred: workers
@@ -263,6 +265,7 @@ class SweepResult:
     backend: Optional[str] = None  # analysis backend, when explicitly set
     shard: Optional[tuple[int, int]] = None  # (index, count) when sharded
     grid_points: Optional[int] = None  # full grid size (for shard headers)
+    batch: int = 1  # worlds per in-process batch (1 = unbatched)
 
     @property
     def seeds(self) -> list[int]:
@@ -589,6 +592,90 @@ def _run_point_indexed(
     return index, run_point(point)
 
 
+#: Default worlds-per-batch for the in-process executor.  K=8 amortizes
+#: per-point loop entry and decode without holding more than a handful
+#: of worlds live; override per campaign with ``batch=``/``--batch`` or
+#: process-wide with ``$REPRO_SWEEP_BATCH``.
+DEFAULT_BATCH_K = 8
+
+BATCH_ENV_VAR = "REPRO_SWEEP_BATCH"
+
+
+def resolve_batch(batch: Optional[int]) -> int:
+    """The effective worlds-per-batch: an explicit argument wins, then
+    ``$REPRO_SWEEP_BATCH``, then the default.  Values below 1 clamp to
+    1 (unbatched)."""
+    if batch is None:
+        raw = os.environ.get(BATCH_ENV_VAR, "").strip()
+        if raw:
+            try:
+                batch = int(raw)
+            except ValueError:
+                raise SweepError(
+                    f"${BATCH_ENV_VAR} must be an integer, got {raw!r}")
+        else:
+            batch = DEFAULT_BATCH_K
+    return max(1, int(batch))
+
+
+def _batch_plans(
+    points: Sequence[SweepPoint], k: int,
+) -> list[Optional[tuple[int, ...]]]:
+    """Per-point batch plans: group the points by configuration (same
+    experiment, same overrides), chunk each group into runs of ``k``
+    consecutive points, and give each chunk head the chunk's seed list.
+    Non-heads get ``None`` — their worlds come from the pool the head's
+    batch filled.  Batching only changes wall time: every point's
+    digest is identical to its serial run (``tests/test_batched.py``).
+    """
+    plans: list[Optional[tuple[int, ...]]] = [None] * len(points)
+    groups: dict[tuple, list[int]] = {}
+    for index, point in enumerate(points):
+        groups.setdefault(
+            (point.exp_id, point.overrides), []).append(index)
+    for indices in groups.values():
+        for start in range(0, len(indices), k):
+            chunk = indices[start:start + k]
+            if len(chunk) > 1:
+                plans[chunk[0]] = tuple(
+                    points[index].seed for index in chunk)
+    return plans
+
+
+def _iter_points_batched(
+    points: Sequence[SweepPoint], k: int,
+) -> Iterator[PointResult]:
+    """The in-process batched executor: run the points in order, with
+    each chunk head announcing its chunk's seeds so ``run_blink``
+    simulates the whole chunk as one interleaved batch."""
+    plans = _batch_plans(points, k)
+    for point, plan in zip(points, plans):
+        if plan is not None:
+            with blink_batch_plan(plan):
+                yield run_point(point)
+        else:
+            yield run_point(point)
+
+
+def _run_chunk_batched(
+    item: tuple[list[tuple[int, SweepPoint]], int],
+) -> list[tuple[int, PointResult]]:
+    """Pool worker wrapper for batched dispatch: a worker receives a
+    whole chunk of index-tagged points and batches within it, so the
+    K-world amortization survives fan-out."""
+    pairs, k = item
+    points = [point for _, point in pairs]
+    plans = _batch_plans(points, k)
+    out: list[tuple[int, PointResult]] = []
+    for (index, point), plan in zip(pairs, plans):
+        if plan is not None:
+            with blink_batch_plan(plan):
+                out.append((index, run_point(point)))
+        else:
+            out.append((index, run_point(point)))
+    return out
+
+
 def _seed_worker_fingerprint(fingerprint: str) -> None:
     """Pool initializer: install the parent's precomputed source-tree
     fingerprint so no worker ever re-hashes the whole tree (inherited
@@ -651,6 +738,7 @@ def run_sweep(
     cache_dir: Optional[Union[str, Path]] = None,
     backend: Optional[str] = None,
     shard: Optional[tuple[int, int]] = None,
+    batch: Optional[int] = None,
 ) -> SweepResult:
     """Run a campaign and aggregate it, streaming.
 
@@ -725,7 +813,9 @@ def _run_sweep_inner(
     cache_dir: Optional[Union[str, Path]] = None,
     shard: Optional[tuple[int, int]] = None,
     cache: Optional["SweepCache"] = None,
+    batch: Optional[int] = None,
 ) -> SweepResult:
+    batch = resolve_batch(batch)
     grid = expand_grid(exp_id, seeds, overrides)
     points = grid if shard is None else shard_points(grid, *shard)
     start = time.perf_counter()
@@ -755,8 +845,9 @@ def _run_sweep_inner(
         ))
 
     if jobs == 1:
-        for result in _merge_in_grid_order(
-                points, hits, cache, map(run_point, misses)):
+        fresh = (_iter_points_batched(misses, batch) if batch > 1
+                 else map(run_point, misses))
+        for result in _merge_in_grid_order(points, hits, cache, fresh):
             fold(result)
     else:
         context = multiprocessing.get_context(
@@ -782,8 +873,23 @@ def _run_sweep_inner(
         chunksize = max(1, len(misses) // (jobs * 4))
         with context.Pool(processes=jobs, initializer=initializer,
                           initargs=initargs or ()) as pool:
-            unordered = pool.imap_unordered(
-                _run_point_indexed, enumerate(misses), chunksize=chunksize)
+            if batch > 1:
+                # Batched dispatch ships whole chunks so each worker can
+                # run its K-world batches; the flattened index-tagged
+                # stream feeds the same re-ordering buffer.
+                indexed = list(enumerate(misses))
+                chunks = [
+                    (indexed[start:start + chunksize], batch)
+                    for start in range(0, len(indexed), chunksize)
+                ]
+                unordered_chunks = pool.imap_unordered(
+                    _run_chunk_batched, chunks, chunksize=1)
+                unordered = (
+                    pair for chunk in unordered_chunks for pair in chunk)
+            else:
+                unordered = pool.imap_unordered(
+                    _run_point_indexed, enumerate(misses),
+                    chunksize=chunksize)
             fresh = _in_grid_index_order(unordered, len(misses))
             for result in _merge_in_grid_order(points, hits, cache, fresh):
                 fold(result)
@@ -796,6 +902,7 @@ def _run_sweep_inner(
         cache_hits=sum(1 for s in summaries if s.from_cache),
         shard=shard,
         grid_points=len(grid),
+        batch=batch,
     )
 
 
