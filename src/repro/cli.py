@@ -16,7 +16,17 @@ Commands:
   N-machine campaign);
 * ``merge-sweeps <id> --cache-dir A [--cache-dir B ...]`` — fold shard
   runs' cached stores back into the full campaign result, byte-identical
-  to an unsharded run over the same grid;
+  to an unsharded run over the same grid; with ``--manifest M`` the
+  spec comes from a campaign manifest instead of re-typed flags and
+  ``--strict`` additionally verifies the manifest's pinned digests;
+* ``campaign plan|run|resume|status <manifest>`` — the fault-tolerant
+  campaign orchestrator (:mod:`repro.sim.campaign`): ``plan`` writes a
+  schema-versioned manifest, ``run`` dispatches shard workers with
+  retries/straggler backups and folds results incrementally, ``resume``
+  (the same operation by a friendlier name) verifies stored points and
+  schedules only the remainder, ``status`` reports coverage without
+  simulating (``campaign worker`` is the internal per-shard entry the
+  runner spawns);
 * ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
   full energy map (optionally the raw log dump);
 * ``validate [--seed N]`` — run Blink and lint its log;
@@ -118,6 +128,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_merge_sweeps(args: argparse.Namespace) -> int:
     from repro.sim.sweep import merge_sweeps
 
+    if args.manifest is not None:
+        from repro.sim.campaign import merge_campaign
+
+        result = merge_campaign(
+            args.manifest, extra_cache_dirs=args.cache_dir or (),
+            jobs=args.jobs, strict=args.strict, backend=args.backend)
+        print(result.render())
+        return 0
+    if args.id is None or not args.cache_dir:
+        print("merge-sweeps needs either --manifest M or "
+              "<id> --cache-dir DIR", file=sys.stderr)
+        return 2
     if args.id not in EXPERIMENT_IDS:
         print(f"unknown experiment {args.id!r}; try: python -m repro list",
               file=sys.stderr)
@@ -132,6 +154,46 @@ def _cmd_merge_sweeps(args: argparse.Namespace) -> int:
                           strict=args.strict, backend=args.backend)
     print(result.render())
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.sim import campaign
+
+    if args.campaign_cmd == "plan":
+        if args.id not in EXPERIMENT_IDS:
+            print(f"unknown experiment {args.id!r}; "
+                  f"try: python -m repro list", file=sys.stderr)
+            return 2
+        if args.seeds < 1:
+            print("--seeds must be at least 1", file=sys.stderr)
+            return 2
+        overrides = _parse_set_args(args.set, multi_valued=True)
+        seeds = range(args.seed_base, args.seed_base + args.seeds)
+        manifest = campaign.plan_campaign(
+            args.id, seeds, overrides, out_path=args.manifest,
+            shards=args.shards, workers=args.jobs, batch=args.batch,
+            backend=args.backend, deadline_s=args.deadline,
+            max_retries=args.max_retries, cache_dir=args.cache_dir)
+        print(f"wrote manifest {manifest.path}: "
+              f"{len(manifest.grid())} grid points, "
+              f"{manifest.shards} shards, cache {manifest.cache_dir!r}")
+        return 0
+    if args.campaign_cmd in ("run", "resume"):
+        def event(line: str) -> None:
+            print(line, file=sys.stderr, flush=True)
+
+        result = campaign.run_campaign(args.manifest, on_event=event)
+        print(result.render())
+        return 0
+    if args.campaign_cmd == "status":
+        print(campaign.campaign_status(args.manifest).render())
+        return 0
+    if args.campaign_cmd == "worker":
+        from repro.sim.sweep import parse_shard
+
+        index, count = parse_shard(args.shard)
+        return campaign.run_worker(args.manifest, index, count)
+    raise AssertionError(args.campaign_cmd)  # pragma: no cover
 
 
 def _cmd_blink(args: argparse.Namespace) -> int:
@@ -196,6 +258,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.serve import IngestServer
     from repro.serve.protocol import parse_address
@@ -203,6 +266,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         server = IngestServer(retain=args.retain,
                               queue_depth=args.queue_depth)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
         for spec in args.listen or ["127.0.0.1:7117"]:
             address = parse_address(spec)
             if isinstance(address, str):
@@ -217,7 +286,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await server.serve_forever(stop_after=args.expect_nodes)
         finally:
             await server.close()
-        if args.expect_nodes:
+        if server.shutdown_requested:
+            # Graceful SIGINT/SIGTERM: queues were drained, open
+            # decoders finished; leave the final per-node accounting.
+            print("shutdown: draining complete", flush=True)
+            for line in server.final_stats_lines():
+                print(line, flush=True)
+        elif args.expect_nodes:
             print(f"served {server.completed} node streams")
 
     try:
@@ -285,7 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge = sub.add_parser(
         "merge-sweeps",
         help="fold sharded sweep caches into the full campaign result")
-    p_merge.add_argument("id")
+    p_merge.add_argument("id", nargs="?", default=None,
+                         help="experiment id (omit with --manifest)")
+    p_merge.add_argument("--manifest", metavar="FILE", default=None,
+                         help="take the campaign spec (experiment, seeds, "
+                              "grid, primary cache dir) from a campaign "
+                              "manifest; --strict then also verifies the "
+                              "manifest's pinned per-point digests")
     p_merge.add_argument("--seeds", type=int, default=8,
                          help="number of seeds of the campaign grid")
     p_merge.add_argument("--seed-base", type=int, default=0)
@@ -293,10 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="the campaign's parameter grid (must match "
                               "what the shard runs used)")
     p_merge.add_argument("--cache-dir", metavar="DIR", action="append",
-                         required=True,
                          help="a shard run's cache directory (repeatable; "
                               "points load from the first dir that has "
-                              "them)")
+                              "them; with --manifest these are extras "
+                              "after the manifest's own cache dir)")
     p_merge.add_argument("--jobs", type=int, default=1,
                          help="workers for simulating uncovered points "
                               "(non-strict mode only)")
@@ -304,6 +385,60 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fail if any grid point is missing from the "
                               "shard stores instead of simulating it")
     p_merge.add_argument("--backend", **backend_kwargs)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="fault-tolerant campaign orchestrator (manifest-driven)")
+    campaign_sub = p_campaign.add_subparsers(dest="campaign_cmd",
+                                             required=True)
+
+    p_cplan = campaign_sub.add_parser(
+        "plan", help="validate a campaign spec and write its manifest")
+    p_cplan.add_argument("manifest", help="manifest file to write")
+    p_cplan.add_argument("id", help="experiment id")
+    p_cplan.add_argument("--seeds", type=int, default=8,
+                         help="number of seeds (default 8)")
+    p_cplan.add_argument("--seed-base", type=int, default=0)
+    p_cplan.add_argument("--set", action="append", metavar="KEY=V1[,V2...]",
+                         help="sweep a parameter over values (repeatable)")
+    p_cplan.add_argument("--shards", type=int, default=1,
+                         help="shard count (one worker subprocess per "
+                              "shard dispatch; default 1)")
+    p_cplan.add_argument("--jobs", type=int, default=0,
+                         help="concurrent worker subprocesses (default 0 "
+                              "= min(shards, detected CPUs))")
+    p_cplan.add_argument("--batch", type=int, default=None, metavar="K",
+                         help="worlds per in-process batch inside each "
+                              "worker (default: REPRO_SWEEP_BATCH or 8)")
+    p_cplan.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-shard straggler deadline: a worker "
+                              "running longer gets a speculative backup "
+                              "dispatched against it (default: none)")
+    p_cplan.add_argument("--max-retries", type=int, default=3,
+                         help="re-dispatches per shard beyond the first "
+                              "attempt (default 3)")
+    p_cplan.add_argument("--cache-dir", metavar="DIR", default="cache",
+                         help="shard store directory, relative to the "
+                              "manifest's directory (default 'cache')")
+    p_cplan.add_argument("--backend", **backend_kwargs)
+
+    for name, help_text in (
+        ("run", "run a campaign manifest to completion"),
+        ("resume", "resume an interrupted campaign (same as run: stored "
+                   "valid points are never re-simulated)"),
+        ("status", "report a campaign's stored/verified coverage"),
+    ):
+        p = campaign_sub.add_parser(name, help=help_text)
+        p.add_argument("manifest", help="campaign manifest file")
+
+    p_cworker = campaign_sub.add_parser(
+        "worker", help="run one shard of a campaign (spawned by the "
+                       "runner; usable manually for debugging)")
+    p_cworker.add_argument("manifest", help="campaign manifest file")
+    p_cworker.add_argument("--shard", metavar="i/N", required=True,
+                           help="shard index / shard count (must match "
+                                "the manifest)")
 
     p_blink = sub.add_parser("blink", help="run Blink and print the map")
     p_blink.add_argument("--seconds", type=int, default=48)
@@ -344,6 +479,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,
         "merge-sweeps": _cmd_merge_sweeps,
+        "campaign": _cmd_campaign,
         "blink": _cmd_blink,
         "validate": _cmd_validate,
         "serve": _cmd_serve,

@@ -60,6 +60,12 @@ class SweepError(ReproError):
     """Raised by the sweep runner (bad grid, worker failure, empty sweep)."""
 
 
+class CampaignError(SweepError):
+    """Raised by the campaign orchestrator (bad manifest, exhausted shard
+    retries, expected-digest mismatch).  A :class:`SweepError` subclass
+    so sweep-layer callers and the CLI need no new catch sites."""
+
+
 class WindowingError(ReproError):
     """Raised on windowed-accounting misuse (non-positive stride, folding
     an empty window sequence, sliding width not a stride multiple)."""

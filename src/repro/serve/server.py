@@ -131,6 +131,8 @@ class IngestServer:
         self.completed = 0
         self._servers: list[asyncio.base_events.Server] = []
         self._done_event = asyncio.Event()
+        self._shutdown = asyncio.Event()
+        self._handlers: set[asyncio.Task] = set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -148,15 +150,56 @@ class IngestServer:
         return path
 
     async def serve_forever(self, stop_after: Optional[int] = None) -> None:
-        """Serve until cancelled; with ``stop_after``, return once that
-        many node streams have completed (scripted runs, smoke tests)."""
-        if stop_after is None:
-            await asyncio.gather(*(
-                server.serve_forever() for server in self._servers))
-            return
-        while self.completed < stop_after:
-            self._done_event.clear()
-            await self._done_event.wait()
+        """Serve until :meth:`request_shutdown` (or, with ``stop_after``,
+        until that many node streams have completed — scripted runs,
+        smoke tests).  On a requested shutdown this drains gracefully
+        via :meth:`shutdown` before returning."""
+        stop_task = asyncio.ensure_future(self._shutdown.wait())
+        try:
+            while not self._shutdown.is_set():
+                if stop_after is not None and self.completed >= stop_after:
+                    return
+                self._done_event.clear()
+                done_task = asyncio.ensure_future(self._done_event.wait())
+                try:
+                    await asyncio.wait(
+                        {done_task, stop_task},
+                        return_when=asyncio.FIRST_COMPLETED)
+                finally:
+                    done_task.cancel()
+        finally:
+            stop_task.cancel()
+        await self.shutdown()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown (signal-handler safe: just sets an
+        event on the loop).  Listeners stop accepting, streaming nodes'
+        queues drain, decoders with no partial entry finish cleanly and
+        get their final map; a node caught mid-frame is marked failed
+        rather than folded torn."""
+        self._shutdown.set()
+
+    async def shutdown(self, grace_s: float = 5.0) -> None:
+        """Stop accepting, then wait up to ``grace_s`` for the open
+        connection handlers to drain and reply; stragglers past the
+        grace period are cancelled."""
+        self._shutdown.set()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers.clear()
+        pending = {task for task in self._handlers if not task.done()}
+        if pending:
+            _done, late = await asyncio.wait(pending, timeout=grace_s)
+            for task in late:
+                task.cancel()
+            if late:
+                await asyncio.gather(*late, return_exceptions=True)
 
     async def close(self) -> None:
         for server in self._servers:
@@ -164,10 +207,30 @@ class IngestServer:
             await server.wait_closed()
         self._servers.clear()
 
+    def final_stats_lines(self) -> list[str]:
+        """Per-node summary lines for the shutdown log."""
+        lines = []
+        for node_id in sorted(self.sessions):
+            session = self.sessions[node_id]
+            desc = session.describe()
+            detail = f" ({desc['error']})" if desc["error"] else ""
+            lines.append(
+                f"node {node_id}: {desc['state']}{detail}, "
+                f"{desc['entries']} entries, {desc['windows']} windows, "
+                f"{desc['bytes']} bytes")
+        lines.append(
+            f"total: {len(self.sessions)} sessions, "
+            f"{self.completed} completed streams")
+        return lines
+
     # -- connection handling -------------------------------------------------
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
         try:
             line = await reader.readline()
             if not line:
@@ -206,9 +269,26 @@ class IngestServer:
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
         consumer = asyncio.ensure_future(self._consume(session, queue))
         eof_clean = False
+        stopped = False
+        stop_task = asyncio.ensure_future(self._shutdown.wait())
         try:
             while True:
-                chunk = await reader.read(READ_CHUNK)
+                read_task = asyncio.ensure_future(reader.read(READ_CHUNK))
+                done, _ = await asyncio.wait(
+                    {read_task, stop_task},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if read_task not in done:
+                    # Graceful shutdown: stop reading; the queue drains
+                    # below and the decoder decides clean vs mid-frame.
+                    read_task.cancel()
+                    try:
+                        await read_task
+                    except (asyncio.CancelledError, ConnectionError,
+                            asyncio.IncompleteReadError):
+                        pass
+                    stopped = True
+                    break
+                chunk = read_task.result()
                 if not chunk:
                     eof_clean = True
                     break
@@ -218,9 +298,16 @@ class IngestServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # eof_clean stays False -> the stream is marked failed
         finally:
+            stop_task.cancel()
             await queue.put(_EOF)
         try:
             await consumer
+            if stopped and not eof_clean:
+                # Queue drained; a decoder holding a partial entry was
+                # cut mid-frame, everything else ends as a clean stream.
+                if session.decoder.pending_bytes:
+                    raise ServeError("server shutdown mid-frame")
+                eof_clean = True
             if not eof_clean:
                 raise ServeError("connection lost mid-stream")
             final = session.finish()
@@ -231,6 +318,8 @@ class IngestServer:
                 "windows": session.accumulator.windows_emitted,
                 "energy_map": emap_to_wire(final),
             }
+            if stopped:
+                reply["shutdown"] = True
         except ReproError as exc:
             session.fail(str(exc))
             reply = {"ok": False, "node_id": session.node_id,

@@ -66,12 +66,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+import traceback
+
 from repro.core.accounting import BACKEND_ENV_VAR, resolve_analysis_backend
 from repro.core.report import format_table
 from repro.errors import SweepError
 from repro.experiments.common import (
     blink_batch_plan, experiment_params, run_experiment,
 )
+from repro.sim import faultinject
 from repro.sim.shardstore import ShardStore
 
 #: Start method for worker processes.  ``fork`` is preferred: workers
@@ -427,6 +430,13 @@ class SweepCache:
     def _raw_key(self, point: SweepPoint) -> bytes:
         return bytes.fromhex(self.point_key(point))
 
+    def refresh(self) -> None:
+        """Drop cached index state so the next probe re-reads disk —
+        how the campaign runner observes points its worker processes
+        appended after this object last looked."""
+        for store in self._stores.values():
+            store.refresh()
+
     def has(self, point: SweepPoint) -> bool:
         """Index probe (no payload read) — used to plan the pool before
         any payload is held in memory."""
@@ -569,6 +579,7 @@ def expand_grid(
 def run_point(point: SweepPoint) -> PointResult:
     """Execute one grid point (the worker function; must stay module-level
     so it pickles for the pool)."""
+    faultinject.fire("point", selector=point.seed)
     start = time.perf_counter()
     result = run_experiment(
         point.exp_id, seed=point.seed, overrides=dict(point.overrides)
@@ -583,13 +594,114 @@ def run_point(point: SweepPoint) -> PointResult:
     )
 
 
+@dataclass(frozen=True)
+class PointFailure:
+    """What a pool worker sends back instead of raising: the failed
+    point plus the formatted worker-side traceback.  Raising inside a
+    worker would abort the whole ``imap`` stream mid-campaign; this
+    travels as an ordinary result so the parent can retry the one point
+    in-process and keep every other worker's output."""
+
+    point: SweepPoint
+    error: str
+    worker_traceback: str = ""
+
+
+#: In-process retry budget for a point whose worker failed (exception or
+#: death).  Override with ``$REPRO_SWEEP_POINT_RETRIES``.
+DEFAULT_POINT_RETRIES = 2
+
+POINT_RETRIES_ENV_VAR = "REPRO_SWEEP_POINT_RETRIES"
+
+
+def _point_retries() -> int:
+    raw = os.environ.get(POINT_RETRIES_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise SweepError(
+                f"${POINT_RETRIES_ENV_VAR} must be an integer, got {raw!r}")
+    return DEFAULT_POINT_RETRIES
+
+
+def _run_point_fresh(point: SweepPoint) -> PointResult:
+    """One retry attempt with every world cache dropped and warm start
+    disabled: a point that failed in a worker must not inherit whatever
+    half-mutated world state the failure may have left behind."""
+    from repro.experiments.common import (
+        WARM_START_ENV_VAR, clear_batch_worlds, clear_warm_worlds,
+    )
+
+    previous = os.environ.get(WARM_START_ENV_VAR)
+    os.environ[WARM_START_ENV_VAR] = "0"
+    clear_warm_worlds()
+    clear_batch_worlds()
+    try:
+        return run_point(point)
+    finally:
+        if previous is None:
+            del os.environ[WARM_START_ENV_VAR]
+        else:
+            os.environ[WARM_START_ENV_VAR] = previous
+
+
+def _retry_failed_point(point: SweepPoint, first_error: str,
+                        worker_traceback: str = "") -> PointResult:
+    """Re-run a failed point in-process (fresh world each attempt); after
+    the retry budget, raise naming the point and every error seen."""
+    errors = [first_error]
+    for _attempt in range(_point_retries()):
+        try:
+            return _run_point_fresh(point)
+        except Exception as exc:  # noqa: BLE001 - the retry boundary
+            errors.append(f"{type(exc).__name__}: {exc}")
+    detail = "; then ".join(errors)
+    trace = f"\nworker traceback:\n{worker_traceback}" \
+        if worker_traceback else ""
+    raise SweepError(
+        f"grid point [{point.describe()}] of {point.exp_id} failed "
+        f"{len(errors)} times ({detail}){trace}"
+    )
+
+
+def _iter_points_guarded(
+    points: Sequence[SweepPoint], batch: int,
+) -> Iterator[PointResult]:
+    """The in-process executor with the same retry contract as the pool:
+    a point that raises is re-run on a fresh world up to the retry
+    budget, and only then aborts the sweep with its ``describe()``."""
+    position = 0
+    while position < len(points):
+        remaining = points[position:]
+        iterator = (_iter_points_batched(remaining, batch) if batch > 1
+                    else map(run_point, remaining))
+        try:
+            for result in iterator:
+                position += 1
+                yield result
+        except Exception as exc:  # noqa: BLE001 - the retry boundary
+            point = points[position]
+            yield _retry_failed_point(
+                point, f"{type(exc).__name__}: {exc}",
+                traceback.format_exc())
+            position += 1
+
+
 def _run_point_indexed(
     item: tuple[int, SweepPoint],
-) -> tuple[int, PointResult]:
+) -> tuple[int, Union[PointResult, PointFailure]]:
     """Pool worker wrapper: tag each result with its grid index so the
-    parent can re-order ``imap_unordered`` output deterministically."""
+    parent can re-order ``imap_unordered`` output deterministically.
+    Exceptions become :class:`PointFailure` payloads — a worker must
+    never abort the shared stream."""
     index, point = item
-    return index, run_point(point)
+    try:
+        return index, run_point(point)
+    except Exception as exc:  # noqa: BLE001 - serialized for the parent
+        return index, PointFailure(
+            point=point, error=f"{type(exc).__name__}: {exc}",
+            worker_traceback=traceback.format_exc())
 
 
 #: Default worlds-per-batch for the in-process executor.  K=8 amortizes
@@ -659,21 +771,138 @@ def _iter_points_batched(
 
 def _run_chunk_batched(
     item: tuple[list[tuple[int, SweepPoint]], int],
-) -> list[tuple[int, PointResult]]:
+) -> list[tuple[int, Union[PointResult, PointFailure]]]:
     """Pool worker wrapper for batched dispatch: a worker receives a
     whole chunk of index-tagged points and batches within it, so the
-    K-world amortization survives fan-out."""
+    K-world amortization survives fan-out.  A point that raises becomes
+    a :class:`PointFailure` in place; the rest of the chunk still runs
+    (batch siblings of a failed head fall back to their serial path)."""
     pairs, k = item
     points = [point for _, point in pairs]
     plans = _batch_plans(points, k)
-    out: list[tuple[int, PointResult]] = []
+    out: list[tuple[int, Union[PointResult, PointFailure]]] = []
     for (index, point), plan in zip(pairs, plans):
-        if plan is not None:
-            with blink_batch_plan(plan):
+        try:
+            if plan is not None:
+                with blink_batch_plan(plan):
+                    out.append((index, run_point(point)))
+            else:
                 out.append((index, run_point(point)))
-        else:
-            out.append((index, run_point(point)))
+        except Exception as exc:  # noqa: BLE001 - serialized for the parent
+            out.append((index, PointFailure(
+                point=point, error=f"{type(exc).__name__}: {exc}",
+                worker_traceback=traceback.format_exc())))
     return out
+
+
+#: How long to block on the pool's result stream before checking the
+#: workers' health.  Purely a liveness knob: results arriving faster are
+#: delivered immediately; the poll only bounds how long a dead worker
+#: can go unnoticed.
+_POOL_POLL_S = 0.1
+
+
+def _pool_pids(pool) -> Optional[frozenset]:
+    """The pool's current worker pids, or None where the stdlib hides
+    them.  ``Pool`` transparently *replaces* a dead worker (so its exit
+    is invisible afterwards) but the task the worker held is lost
+    forever — the pid set changing is the one observable symptom."""
+    procs = getattr(pool, "_pool", None)
+    if procs is None:  # pragma: no cover - stdlib internals moved
+        return None
+    try:
+        return frozenset(proc.pid for proc in procs)
+    except Exception:  # pragma: no cover - stdlib internals moved
+        return None
+
+
+def _robust_pool_stream(
+    context,
+    misses: Sequence[SweepPoint],
+    jobs: int,
+    batch: int,
+    chunksize: int,
+    initializer,
+    initargs,
+) -> Iterator[tuple[int, PointResult]]:
+    """Yield ``(grid index, result)`` for every miss off a worker pool,
+    surviving both worker-side exceptions and worker death.
+
+    Exceptions arrive as :class:`PointFailure` payloads and are retried
+    in-process on a fresh world (see :func:`_retry_failed_point`).
+    Death — SIGKILL, OOM, a segfaulting extension — is nastier: the
+    stdlib pool silently replaces the process, and the task it was
+    holding never produces a result, so a plain ``for`` over ``imap``
+    blocks forever.  This stream polls with a timeout, watches the
+    worker pid set, and on a change stops trusting the pool: it scoops
+    whatever results are already queued, terminates the pool, and runs
+    every point still missing in-process.  Either way the caller sees
+    exactly one result per miss.
+    """
+    done: set[int] = set()
+
+    def deliver(item):
+        pairs = item if isinstance(item, list) else [item]
+        for index, payload in pairs:
+            if isinstance(payload, PointFailure):
+                payload = _retry_failed_point(
+                    payload.point, payload.error, payload.worker_traceback)
+            done.add(index)
+            yield index, payload
+
+    with context.Pool(processes=jobs, initializer=initializer,
+                      initargs=initargs or ()) as pool:
+        if batch > 1:
+            # Batched dispatch ships whole chunks so each worker can
+            # run its K-world batches; the flattened index-tagged
+            # stream feeds the same re-ordering buffer.
+            indexed = list(enumerate(misses))
+            chunks = [
+                (indexed[start:start + chunksize], batch)
+                for start in range(0, len(indexed), chunksize)
+            ]
+            unordered = pool.imap_unordered(
+                _run_chunk_batched, chunks, chunksize=1)
+            expected = len(chunks)
+        else:
+            unordered = pool.imap_unordered(
+                _run_point_indexed, enumerate(misses), chunksize=chunksize)
+            expected = len(misses)
+        baseline = _pool_pids(pool)
+        received = 0
+        broken = False
+        while received < expected:
+            try:
+                item = unordered.next(timeout=_POOL_POLL_S)
+            except StopIteration:
+                break
+            except multiprocessing.TimeoutError:
+                current = _pool_pids(pool)
+                if baseline is not None and current is not None \
+                        and current != baseline:
+                    broken = True
+                    break
+                continue
+            received += 1
+            yield from deliver(item)
+        if broken:
+            # Scoop results that landed before the death was noticed so
+            # only truly lost points re-run; one quiet poll ends the
+            # scoop (anything a live worker finishes after that is
+            # merely recomputed in-process — wasteful, never wrong).
+            while True:
+                try:
+                    item = unordered.next(timeout=_POOL_POLL_S)
+                except (StopIteration, multiprocessing.TimeoutError):
+                    break
+                yield from deliver(item)
+    # The pool is torn down; whatever never arrived runs here, on fresh
+    # in-process worlds, with the same capped retry budget.
+    for index in range(len(misses)):
+        if index not in done:
+            yield index, _retry_failed_point(
+                misses[index],
+                "pool worker died before returning this point")
 
 
 def _seed_worker_fingerprint(fingerprint: str) -> None:
@@ -845,8 +1074,7 @@ def _run_sweep_inner(
         ))
 
     if jobs == 1:
-        fresh = (_iter_points_batched(misses, batch) if batch > 1
-                 else map(run_point, misses))
+        fresh = _iter_points_guarded(misses, batch)
         for result in _merge_in_grid_order(points, hits, cache, fresh):
             fold(result)
     else:
@@ -871,28 +1099,11 @@ def _run_sweep_inner(
         # balanced when point durations are uneven (long seeds, heavy
         # override combos).
         chunksize = max(1, len(misses) // (jobs * 4))
-        with context.Pool(processes=jobs, initializer=initializer,
-                          initargs=initargs or ()) as pool:
-            if batch > 1:
-                # Batched dispatch ships whole chunks so each worker can
-                # run its K-world batches; the flattened index-tagged
-                # stream feeds the same re-ordering buffer.
-                indexed = list(enumerate(misses))
-                chunks = [
-                    (indexed[start:start + chunksize], batch)
-                    for start in range(0, len(indexed), chunksize)
-                ]
-                unordered_chunks = pool.imap_unordered(
-                    _run_chunk_batched, chunks, chunksize=1)
-                unordered = (
-                    pair for chunk in unordered_chunks for pair in chunk)
-            else:
-                unordered = pool.imap_unordered(
-                    _run_point_indexed, enumerate(misses),
-                    chunksize=chunksize)
-            fresh = _in_grid_index_order(unordered, len(misses))
-            for result in _merge_in_grid_order(points, hits, cache, fresh):
-                fold(result)
+        unordered = _robust_pool_stream(
+            context, misses, jobs, batch, chunksize, initializer, initargs)
+        fresh = _in_grid_index_order(unordered, len(misses))
+        for result in _merge_in_grid_order(points, hits, cache, fresh):
+            fold(result)
     wall_s = time.perf_counter() - start
     return SweepResult(
         exp_id=exp_id, points=summaries, jobs=jobs, wall_s=wall_s,

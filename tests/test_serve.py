@@ -240,3 +240,103 @@ def test_parse_address_forms():
     for bad in ("unix:", "nocolon", "host:port"):
         with pytest.raises(ServeError):
             parse_address(bad)
+
+
+# -- graceful shutdown -------------------------------------------------------
+
+
+def _stalled_stream_shutdown(sock, prefix_len):
+    """Start a stream, stall it (no EOF) after ``prefix_len`` bytes,
+    request shutdown mid-flight, and return (reply, server)."""
+    from repro.serve.protocol import (
+        INGEST_VERB,
+        decode_json_line,
+        encode_json_line,
+    )
+
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
+    raw = node.logger.raw_bytes()
+    assert prefix_len < len(raw)
+    hello = hello_for_node(node, stride_ns=int(seconds(1)))
+
+    async def main():
+        server = IngestServer()
+        await server.start_unix(sock)
+
+        async def client():
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(INGEST_VERB.encode() + b" "
+                         + encode_json_line(hello))
+            writer.write(raw[:prefix_len])
+            await writer.drain()
+            # Stall: no more bytes, no EOF — only a shutdown ends this.
+            line = await reader.readline()
+            writer.close()
+            return decode_json_line(line, "reply") if line else None
+
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        client_task = asyncio.ensure_future(client())
+        await asyncio.sleep(0.1)  # let the prefix land
+        server.request_shutdown()
+        await serve_task  # returns only after handlers drained
+        return await client_task, server
+
+    return asyncio.run(main())
+
+
+def test_shutdown_drains_and_finishes_clean_decoders(sock):
+    """SIGINT/SIGTERM semantics: a node stalled at an entry boundary is
+    drained, its decoder finished, and it gets its final folded map
+    flagged as a shutdown delivery."""
+    prefix = 1200  # 100 whole 12-byte entries
+    reply, server = _stalled_stream_shutdown(sock, prefix)
+    assert reply["ok"] and reply["shutdown"] is True
+    assert reply["entries"] == 100
+    assert server.sessions[1].state == "done"
+    lines = server.final_stats_lines()
+    assert any("node 1: done" in line for line in lines)
+    assert any("1 completed streams" in line for line in lines)
+
+
+def test_shutdown_mid_frame_fails_the_node_not_the_server(sock):
+    """A node caught with a partial entry in its decoder cannot be
+    folded truthfully: it is marked failed with a mid-frame error while
+    the server still shuts down in order."""
+    reply, server = _stalled_stream_shutdown(sock, 1207)  # 7 torn bytes
+    assert reply["ok"] is False
+    assert "mid-frame" in reply["error"]
+    session = server.sessions[1]
+    assert session.state == "error" and "mid-frame" in session.error
+    assert any("error" in line for line in server.final_stats_lines())
+
+
+def test_cli_serve_sigterm_graceful_exit(tmp_path):
+    """The CLI wiring end to end: `repro serve` under SIGTERM stops
+    accepting, drains, prints the final stats, and exits 0."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time as _time
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--listen", ":0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0
+    assert "shutdown: draining complete" in out
+    assert "0 sessions" in out
