@@ -16,6 +16,9 @@ have a machine-readable baseline:
   ``WireDecoder`` feeding a ``WindowedAccumulator`` at a 1 s stride),
   the per-node cost of the ingest server; the folded windows are
   asserted bit-identical to the offline map first;
+* ``serve_recovery_ms`` — wall time for the durable ingest path to
+  rebuild one node session from its checkpoint + journal-tail replay
+  (a half-log tail, the post-SIGKILL shape).  Recorded, not gated;
 * ``sweep_points_per_sec_serial`` — end-to-end table3 points per second
   on the 64-point reference grid with batching off (``batch=1``): the
   strict one-world-at-a-time reference;
@@ -258,6 +261,59 @@ def bench_windowed(rounds: int = 20) -> dict:
     }
 
 
+def bench_serve_recovery(rounds: int = 5) -> dict:
+    """Crash-recovery latency of the durable ingest path: wall time for
+    :meth:`NodeSession.restore` to rebuild one node from its checkpoint
+    plus journal-tail replay — the in-process cousin of the serve chaos
+    job's restart-to-listening measurement.  The state dir is prepared
+    the way a SIGKILLed server leaves it: a full WAL and a checkpoint
+    from roughly mid-stream, so every restore pays a real half-log
+    replay.  The restored accounting is asserted bit-identical to the
+    uninterrupted session before the number is reported."""
+    import tempfile
+
+    from repro.experiments.common import run_blink
+    from repro.serve import NodeJournal, NodeSession, hello_for_node
+
+    node, _, _sim = run_blink(0, duration_ns=seconds(48))
+    hello = hello_for_node(node, stride_ns=int(seconds(1)))
+    raw = bytes(node.logger.raw_bytes())
+    chunk = 1021
+    with tempfile.TemporaryDirectory(prefix="bench-serve-recover-") as root:
+        journal = NodeJournal(root, node.node_id)
+        journal.create(hello)
+        live = NodeSession(hello, retain=64, journal=journal)
+        for at in range(0, len(raw), chunk):
+            piece = raw[at:at + chunk]
+            journal.append_chunk(piece)
+            live.ingest(piece)
+            if live.checkpointed_bytes == 0 \
+                    and live.bytes_received >= len(raw) // 2:
+                journal.write_checkpoint(live.checkpoint_state())
+                live.checkpointed_bytes = live.bytes_received
+        journal.close()
+
+        restored = NodeSession.restore(root, node.node_id, retain=64)
+        restored.journal.close()
+        assert restored.bytes_received == len(raw)
+        assert restored.finish().energy_j == live.finish().energy_j, \
+            "restored session diverged from live — fix before benchmarking"
+
+        samples: list[float] = []
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            for _round in range(rounds):
+                again = NodeSession.restore(root, node.node_id, retain=64)
+                again.journal.close()
+            samples.append((time.perf_counter() - start) / rounds * 1e3)
+    median, spread = _median_spread(samples)
+    return {
+        "serve_recovery_ms": round(median, 2),
+        "serve_recovery_ms_spread": round(spread, 3),
+        "serve_recovery_log_bytes": len(raw),
+    }
+
+
 def bench_sweep_grid() -> tuple[float, float, float, str]:
     """(serial, batched, jobs=2-speedup, digest) on the 64-point grid.
 
@@ -307,6 +363,7 @@ def run_benchmarks() -> dict:
         [bench_engine_events() for _ in range(REPEATS)])
     analysis = bench_analysis()
     windowed = bench_windowed()
+    recovery = bench_serve_recovery()
     points_samples: list[float] = []
     batched_samples: list[float] = []
     speedup_samples: list[float] = []
@@ -348,6 +405,7 @@ def run_benchmarks() -> dict:
     }
     numbers.update(analysis)
     numbers.update(windowed)
+    numbers.update(recovery)
     return numbers
 
 
@@ -489,6 +547,8 @@ def test_engine_bench_smoke():
     assert analysis["analysis_entries_per_sec"]["columnar"] > 0
     windowed = bench_windowed(rounds=2)
     assert windowed["windowed_entries_per_sec"] > 0
+    recovery = bench_serve_recovery(rounds=1)
+    assert recovery["serve_recovery_ms"] > 0
 
 
 if __name__ == "__main__":

@@ -30,9 +30,11 @@ Commands:
 * ``blink [--seconds N] [--seed N] [--dump]`` — run Blink and print the
   full energy map (optionally the raw log dump);
 * ``validate [--seed N]`` — run Blink and lint its log;
-* ``serve [--listen ADDR ...]`` — run the live ingest server: nodes
-  stream their packed logs in, the server accounts them into windowed
-  breakdowns online and answers live queries (see :mod:`repro.serve`).
+* ``serve [--listen ADDR ...] [--state-dir DIR]`` — run the live ingest
+  server: nodes stream their packed logs in, the server accounts them
+  into windowed breakdowns online and answers live queries (see
+  :mod:`repro.serve`); with ``--state-dir`` every stream is journaled
+  and checkpointed so a restarted server resumes mid-stream.
 """
 
 from __future__ import annotations
@@ -263,9 +265,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import IngestServer
     from repro.serve.protocol import parse_address
 
-    async def run() -> None:
+    async def run() -> int:
         server = IngestServer(retain=args.retain,
-                              queue_depth=args.queue_depth)
+                              queue_depth=args.queue_depth,
+                              state_dir=args.state_dir,
+                              checkpoint_bytes=args.checkpoint_bytes,
+                              max_streams=args.max_streams)
+        if args.state_dir and server.restored:
+            print(f"restored {server.restored} node sessions from "
+                  f"{args.state_dir}", flush=True)
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
@@ -294,9 +302,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(line, flush=True)
         elif args.expect_nodes:
             print(f"served {server.completed} node streams")
+        if args.expect_nodes:
+            # Scripted runs must not report success when an expected
+            # node concluded broken (or never concluded at all).
+            bad = [s for s in server.sessions.values()
+                   if s.state in ("error", "quarantined")]
+            for session in bad:
+                print(f"node {session.node_id} ended {session.state}: "
+                      f"{session.error}", flush=True)
+            if bad or server.completed < args.expect_nodes:
+                return 1
+        return 0
 
     try:
-        asyncio.run(run())
+        return asyncio.run(run())
     except KeyboardInterrupt:
         pass
     return 0
@@ -466,8 +485,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "backpressure (default 32)")
     p_serve.add_argument("--expect-nodes", type=int, default=None,
                          metavar="N",
-                         help="exit once N node streams have completed "
-                              "(default: serve until interrupted)")
+                         help="exit once N node streams have concluded; "
+                              "nonzero exit if any ended failed or "
+                              "quarantined (default: serve until "
+                              "interrupted)")
+    p_serve.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="durable ingest: write-ahead journal + "
+                              "checkpoints per node under DIR; a "
+                              "restarted server resumes every stream "
+                              "mid-flight (default: in-memory only)")
+    p_serve.add_argument("--checkpoint-bytes", type=int, default=65536,
+                         metavar="N",
+                         help="checkpoint decoder+accumulator state "
+                              "every N journaled stream bytes "
+                              "(default 65536)")
+    p_serve.add_argument("--max-streams", type=int, default=None,
+                         metavar="N",
+                         help="shed new node streams past N concurrent "
+                              "ones with a retryable NACK (default: "
+                              "unlimited)")
     return parser
 
 

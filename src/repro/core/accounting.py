@@ -946,6 +946,47 @@ class WindowedAccumulator(EnergyAccumulator):
             self._close_window(final=True)
         return self.map
 
+    # -- durability ---------------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """The accumulator's complete mid-stream state as one opaque
+        blob (pickle).  Everything the fold contract depends on rides
+        along — open spans, interned state-vector sums, cumulative
+        per-key float sums, window origin/index, the retained snapshot
+        deque — so :meth:`restore` of this blob, fed the remaining
+        entries, produces windows and a final map **bit-identical** to
+        an uninterrupted accumulator (the crash-safety contract the
+        ingest server's checkpoints lean on).
+
+        ``on_window`` is deliberately not captured (server callbacks
+        close over sockets); reattach one via :meth:`restore`.
+        """
+        import pickle
+
+        on_window = self.on_window
+        self.on_window = None
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            self.on_window = on_window
+
+    @classmethod
+    def restore(cls, blob: bytes, on_window=None) -> "WindowedAccumulator":
+        """Rebuild an accumulator from a :meth:`snapshot` blob."""
+        import pickle
+
+        try:
+            accumulator = pickle.loads(blob)
+        except Exception as exc:
+            raise WindowingError(
+                f"bad WindowedAccumulator snapshot: {exc}") from exc
+        if not isinstance(accumulator, cls):
+            raise WindowingError(
+                f"bad WindowedAccumulator snapshot: unpickled "
+                f"{type(accumulator).__name__}")
+        accumulator.on_window = on_window
+        return accumulator
+
     # -- live views ---------------------------------------------------------
 
     def live_breakdown(self) -> dict:

@@ -600,6 +600,43 @@ class WireDecoder:
                 f"partial entry (after {self._seq} complete entries)"
             )
 
+    # -- durability ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The decoder's complete state as a JSON-able dict: the buffered
+        sub-entry remainder plus the five unwrap integers.  Together with
+        the byte offset the caller has fed, this is everything needed to
+        resume decoding the same stream after a process restart —
+        :meth:`from_snapshot` of this dict, fed the remaining bytes,
+        yields exactly the entries an uninterrupted decoder would."""
+        return {
+            "partial": self._partial.hex(),
+            "time_base": self._time_base,
+            "last_time": self._last_time,
+            "ic_base": self._ic_base,
+            "last_ic": self._last_ic,
+            "seq": self._seq,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "WireDecoder":
+        """Rebuild a decoder from a :meth:`snapshot` dict."""
+        try:
+            decoder = cls()
+            decoder._partial = bytes.fromhex(state["partial"])
+            decoder._time_base = int(state["time_base"])
+            decoder._last_time = int(state["last_time"])
+            decoder._ic_base = int(state["ic_base"])
+            decoder._last_ic = int(state["last_ic"])
+            decoder._seq = int(state["seq"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LoggerError(f"bad WireDecoder snapshot: {exc}") from exc
+        if len(decoder._partial) >= ENTRY_SIZE:
+            raise LoggerError(
+                f"bad WireDecoder snapshot: {len(decoder._partial)} "
+                f"buffered bytes (>= one {ENTRY_SIZE}-byte entry)")
+        return decoder
+
 
 # -- columnar decode --------------------------------------------------------
 

@@ -13,6 +13,12 @@ while streams are in flight; a finished stream's reply carries the
 folded map, byte-identical to the offline ``build_energy_map`` of the
 same log.
 
+Durability (``--state-dir``): every stream is write-ahead journaled
+(:mod:`repro.serve.journal`) and periodically checkpointed, so a
+SIGKILLed server restarts, replays the journal tail, and serves maps
+bit-identical to an uninterrupted run; clients reconnect with capped
+backoff and resume idempotently from the server's acked offset.
+
 Run one with ``python -m repro serve``; stream and watch with
 ``examples/quanto_top.py --server ADDR``.
 """
@@ -27,12 +33,14 @@ from repro.serve.client import (
     stream_node_sync,
     stream_raw,
 )
+from repro.serve.journal import NodeJournal
 from repro.serve.protocol import Address, make_hello, parse_address
 from repro.serve.server import IngestServer, NodeSession
 
 __all__ = [
     "Address",
     "IngestServer",
+    "NodeJournal",
     "NodeSession",
     "final_map",
     "hello_for_node",

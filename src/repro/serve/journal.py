@@ -1,0 +1,280 @@
+"""Per-node write-ahead journal + checkpoint store for the ingest server.
+
+Durability contract: every raw wire chunk is appended here — framed
+length + CRC — **before** it enters the decoder, so the journal is
+always at or ahead of the in-memory accounting state.  A checkpoint
+(written atomically, tmp + ``os.replace``, the shard-store idiom)
+snapshots the :class:`~repro.core.logger.WireDecoder` unwrap state and
+the pickled :class:`~repro.core.accounting.WindowedAccumulator` at a
+known journal offset.  Restart = load the newest valid checkpoint,
+replay the journal's payload tail through the same decode→window path;
+the result is bit-identical to an uninterrupted run.
+
+Torn tails are expected, not fatal: a SIGKILL mid-append leaves a short
+or CRC-failing record at the end of the journal, and the scan simply
+stops at the last whole record — exactly how ``ShardStore._scan_shard``
+treats a crashed writer.  Reopening for append truncates the torn bytes
+first so new records land on a clean boundary.  A corrupt checkpoint is
+discarded (full-journal replay covers it); only a corrupt journal
+*header* makes a node unrecoverable.
+
+State-dir layout, one node per journal::
+
+    state-dir/
+      node-7.waj          # WAL: magic, hello record, chunk records
+      node-7.ckpt         # newest checkpoint (atomic replace)
+      node-7.quarantine   # only if quarantined: the error, journal kept
+
+Record framing: ``kind u8 | length u32 | crc32 u32`` then payload.
+Kinds: hello (JSON, exactly one, first), chunk (raw wire bytes),
+complete (JSON summary, marks a cleanly finished stream).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.errors import ServeError
+
+JOURNAL_MAGIC = b"QWAJ\x01\x00\x00\x00"
+CHECKPOINT_MAGIC = b"QCKP\x01\x00\x00\x00"
+
+#: Record header: kind (u8), payload length (u32), payload crc32 (u32).
+RECORD_HEADER = struct.Struct("<BII")
+
+KIND_HELLO = 1
+KIND_CHUNK = 2
+KIND_COMPLETE = 3
+
+_NODE_FILE = re.compile(r"^node-(\d+)\.waj$")
+
+
+@dataclass
+class JournalContents:
+    """One valid-prefix scan of a journal: whole, CRC-clean records up
+    to the first torn or corrupt one."""
+
+    hello: Optional[dict] = None
+    chunks: list[bytes] = field(default_factory=list)
+    payload_bytes: int = 0          # sum of chunk payload lengths
+    complete: Optional[dict] = None
+    valid_end: int = 0              # file offset of the last whole record
+
+    def replay(self, from_offset: int = 0) -> Iterator[bytes]:
+        """Yield chunk payload bytes after skipping the first
+        ``from_offset`` payload bytes (a resume point may split a
+        journal record; the partial chunk is sliced)."""
+        if from_offset < 0 or from_offset > self.payload_bytes:
+            raise ServeError(
+                f"replay offset {from_offset} outside journal payload "
+                f"(0..{self.payload_bytes})")
+        skipped = 0
+        for chunk in self.chunks:
+            if skipped + len(chunk) <= from_offset:
+                skipped += len(chunk)
+                continue
+            start = from_offset - skipped if skipped < from_offset else 0
+            skipped += len(chunk)
+            yield chunk[start:] if start else chunk
+
+
+class NodeJournal:
+    """The write-ahead journal + checkpoint pair of one node."""
+
+    def __init__(self, state_dir, node_id: int) -> None:
+        self.state_dir = Path(state_dir)
+        self.node_id = int(node_id)
+        stem = f"node-{self.node_id}"
+        self.journal_path = self.state_dir / f"{stem}.waj"
+        self.checkpoint_path = self.state_dir / f"{stem}.ckpt"
+        self.quarantine_path = self.state_dir / f"{stem}.quarantine"
+        self.payload_bytes = 0
+        self._append = None  # open handle while the session is live
+
+    # -- discovery ----------------------------------------------------------
+
+    @classmethod
+    def scan_dir(cls, state_dir) -> list[int]:
+        """Node ids with a journal under ``state_dir``, sorted."""
+        state_dir = Path(state_dir)
+        if not state_dir.is_dir():
+            return []
+        ids = []
+        for name in os.listdir(state_dir):
+            match = _NODE_FILE.match(name)
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    # -- writing ------------------------------------------------------------
+
+    def create(self, hello: dict) -> None:
+        """Start a fresh journal: magic + the hello record.  Truncates
+        any prior journal for this node (the caller decided the old
+        stream is superseded) and clears stale checkpoint/quarantine."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.close()
+        for stale in (self.checkpoint_path, self.quarantine_path):
+            if stale.exists():
+                stale.unlink()
+        handle = open(self.journal_path, "wb")
+        handle.write(JOURNAL_MAGIC)
+        self._write_record(handle, KIND_HELLO,
+                           json.dumps(hello).encode("utf-8"))
+        handle.flush()
+        self._append = handle
+        self.payload_bytes = 0
+
+    def reopen_for_append(self, contents: JournalContents) -> None:
+        """Position the append handle after a restart: truncate the torn
+        tail (if any) so new records start on a whole-record boundary."""
+        self.close()
+        handle = open(self.journal_path, "r+b")
+        handle.truncate(contents.valid_end)
+        handle.seek(contents.valid_end)
+        self._append = handle
+        self.payload_bytes = contents.payload_bytes
+
+    @staticmethod
+    def _write_record(handle, kind: int, payload: bytes) -> None:
+        handle.write(RECORD_HEADER.pack(kind, len(payload),
+                                        zlib.crc32(payload)))
+        handle.write(payload)
+
+    def append_chunk(self, chunk: bytes) -> int:
+        """Journal one raw wire chunk; returns the total payload bytes
+        durably journaled (the stream offset the server may ack)."""
+        if self._append is None:
+            raise ServeError(
+                f"journal for node {self.node_id} is not open for append")
+        self._write_record(self._append, KIND_CHUNK, bytes(chunk))
+        # flush() pushes to the OS: the bytes survive a SIGKILL of this
+        # process (fsync-grade power-loss durability is out of scope).
+        self._append.flush()
+        self.payload_bytes += len(chunk)
+        return self.payload_bytes
+
+    def mark_complete(self, summary: dict) -> None:
+        """Append the completion record: this stream ended cleanly and
+        its accounting is final."""
+        if self._append is None:
+            raise ServeError(
+                f"journal for node {self.node_id} is not open for append")
+        self._write_record(self._append, KIND_COMPLETE,
+                           json.dumps(summary).encode("utf-8"))
+        self._append.flush()
+
+    def quarantine(self, error: str) -> None:
+        """Mark the node quarantined: the journal stays on disk for
+        postmortem decode, the marker carries the reason, and restarts
+        will not replay it."""
+        self.close()
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.quarantine_path.with_suffix(".quarantine.tmp")
+        tmp.write_text(json.dumps({"node_id": self.node_id,
+                                   "error": error}))
+        tmp.replace(self.quarantine_path)
+
+    def quarantine_error(self) -> Optional[str]:
+        """The quarantine reason, or None if the node is not marked."""
+        try:
+            return json.loads(self.quarantine_path.read_text())["error"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError):
+            return "quarantine marker unreadable"
+
+    def close(self) -> None:
+        if self._append is not None:
+            try:
+                self._append.close()
+            finally:
+                self._append = None
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def write_checkpoint(self, state: dict) -> None:
+        """Atomically replace the node's checkpoint (tmp + ``os.replace``
+        — a crash mid-write leaves the previous checkpoint intact)."""
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = self.checkpoint_path.with_suffix(".ckpt.tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(CHECKPOINT_MAGIC)
+            handle.write(struct.pack("<II", len(payload),
+                                     zlib.crc32(payload)))
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.checkpoint_path)
+
+    def load_checkpoint(self) -> Optional[dict]:
+        """The newest checkpoint, or None if absent/corrupt (a corrupt
+        checkpoint is not an error — full-journal replay covers it)."""
+        try:
+            blob = self.checkpoint_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        header = len(CHECKPOINT_MAGIC) + 8
+        if len(blob) < header or not blob.startswith(CHECKPOINT_MAGIC):
+            return None
+        length, crc = struct.unpack_from("<II", blob, len(CHECKPOINT_MAGIC))
+        payload = blob[header:header + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            state = pickle.loads(payload)
+        except Exception:
+            return None
+        return state if isinstance(state, dict) else None
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self) -> Optional[JournalContents]:
+        """Scan the journal's valid prefix.  Returns None when the file
+        is missing or its header is unreadable; otherwise every whole,
+        CRC-clean record up to the first torn one (the crash tail)."""
+        try:
+            blob = self.journal_path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return None
+        if not blob.startswith(JOURNAL_MAGIC):
+            return None
+        contents = JournalContents(valid_end=len(JOURNAL_MAGIC))
+        at = len(JOURNAL_MAGIC)
+        size = len(blob)
+        while at + RECORD_HEADER.size <= size:
+            kind, length, crc = RECORD_HEADER.unpack_from(blob, at)
+            payload_at = at + RECORD_HEADER.size
+            if payload_at + length > size:
+                break  # torn tail: header landed, payload did not
+            payload = blob[payload_at:payload_at + length]
+            if zlib.crc32(payload) != crc:
+                break  # corrupt record: stop at the last good one
+            if kind == KIND_HELLO:
+                try:
+                    contents.hello = json.loads(payload)
+                except ValueError:
+                    break
+            elif kind == KIND_CHUNK:
+                contents.chunks.append(payload)
+                contents.payload_bytes += length
+            elif kind == KIND_COMPLETE:
+                try:
+                    contents.complete = json.loads(payload)
+                except ValueError:
+                    break
+            else:
+                break  # unknown record kind: treat as corruption
+            at = payload_at + length
+            contents.valid_end = at
+        return contents

@@ -17,6 +17,20 @@ A connection opens with exactly one ASCII line that names its role:
   ``breakdown`` (live or final per-node map), ``windows`` (recent
   window snapshots), ``stats`` (server totals).
 
+**Resume extension** (the durable-ingest handshake): a hello carrying
+``"ack": true`` opts into acked offsets.  The server answers the hello
+*immediately* with one handshake line ``{"ok": true, "offset": N,
+"resumed": ...}`` where ``N`` is the count of stream payload bytes it
+already holds for this node (journaled across restarts; 0 for a new
+stream) — the client seeks its log to ``N`` and streams from there, so
+replay after a reconnect is idempotent.  While the body streams, the
+server interleaves ack lines ``{"ack": N}`` (no ``"ok"`` key — the
+final reply always has one, which is how the client tells them apart).
+A rejected hello may carry ``"retry": true`` (server draining or
+overloaded — back off and reconnect) or not (permanent: quarantined
+node, malformed hello).  Hellos without ``"ack"`` get the original
+one-reply protocol unchanged.
+
 Everything JSON is one line, UTF-8, ``\\n``-terminated.  Energy-map
 dicts are serialized as ``[[component, activity, value], ...]`` triple
 lists: JSON objects cannot key on the (component, activity) tuples and
@@ -77,6 +91,12 @@ def decode_json_line(line: bytes, what: str):
         return json.loads(line)
     except ValueError as exc:
         raise ServeError(f"bad {what} JSON: {exc}") from None
+
+
+def is_ack_line(reply: dict) -> bool:
+    """True for the server's interleaved ``{"ack": N}`` offset lines
+    (every handshake/final reply carries an ``"ok"`` key; acks don't)."""
+    return isinstance(reply, dict) and "ack" in reply and "ok" not in reply
 
 
 # -- (component, activity) keyed dicts --------------------------------------

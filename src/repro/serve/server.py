@@ -14,16 +14,35 @@ backpressure end to end, no unbounded buffering anywhere.
 run on the loop, so no locks.  Memory per node is the accumulator's
 open spans plus the retained window deque — a server holding thousands
 of finished nodes keeps only their folded maps.
+
+**Durability** (``state_dir``): every raw chunk is appended to the
+node's write-ahead journal (:mod:`repro.serve.journal`) *before* it
+enters the decoder, and checkpoints snapshot the decoder + accumulator
+atomically every ``checkpoint_bytes`` of stream.  A restarted server
+restores each journal — newest checkpoint, then replay of the journal
+tail through the same decode→window path — and resumes sessions
+bit-identical to an uninterrupted run.  Clients speaking the resume
+handshake (hello ``"ack": true``) learn the server's journaled offset
+on connect and replay idempotently from there.
+
+**Degradation**: a stream whose *content* breaks decode/accounting
+quarantines that one node — journal preserved for postmortem, session
+map and server untouched.  Past ``max_streams`` concurrent streams the
+server sheds new nodes with an explicit retryable NACK instead of
+buffering without bound.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import stat
 from typing import Optional
 
 from repro.core.accounting import WindowedAccumulator
 from repro.core.logger import ENTRY_SIZE, WireDecoder
 from repro.errors import ReproError, ServeError
+from repro.serve.journal import NodeJournal
 from repro.serve.protocol import (
     INGEST_VERB,
     LINE_LIMIT,
@@ -37,20 +56,39 @@ from repro.serve.protocol import (
     registry_from_wire,
     snapshot_to_wire,
 )
+from repro.sim.faultinject import fire
 
 #: Socket read size for ingest bodies.
 READ_CHUNK = 1 << 16
+
+#: Default checkpoint cadence: snapshot decoder+accumulator after this
+#: many journaled stream bytes (plus once at stream completion).
+CHECKPOINT_BYTES = 1 << 16
+
+#: Default ack cadence for resume-capable clients.
+ACK_BYTES = 1 << 14
 
 #: End-of-stream sentinel on a session's chunk queue.
 _EOF = None
 
 
+class _StreamFault(ServeError):
+    """Stream *content* broke decode/accounting: quarantine the node."""
+
+
 class NodeSession:
     """One streaming node's server-side state: decoder, windowed
-    accumulator, counters, and outcome."""
+    accumulator, counters, journal, and outcome.
 
-    def __init__(self, hello: dict, *, retain: int) -> None:
+    ``state`` walks ``streaming`` → ``done`` | ``error`` |
+    ``quarantined``, with ``suspended`` for a resumable stream whose
+    connection (or server) went away mid-flight.
+    """
+
+    def __init__(self, hello: dict, *, retain: int,
+                 journal: Optional[NodeJournal] = None) -> None:
         check_hello(hello)
+        self.hello = hello
         self.node_id = int(hello["node_id"])
         self.registry = registry_from_wire(hello["registry"])
         self.decoder = WireDecoder()
@@ -71,6 +109,11 @@ class NodeSession:
         self.bytes_received = 0
         self.error: Optional[str] = None
         self.final_map = None
+        self.journal = journal
+        self.attached = False       # a live connection is streaming now
+        self.resumable = False      # client speaks the ack handshake
+        self.checkpointed_bytes = 0
+        self.last_ack_bytes = 0
 
     def ingest(self, chunk: bytes) -> None:
         self.bytes_received += len(chunk)
@@ -88,6 +131,79 @@ class NodeSession:
         self.state = "error"
         self.error = message
 
+    def set_quarantined(self, message: str) -> None:
+        """Park the node: its stream content is untrustworthy, but its
+        journal survives for postmortem and the server carries on."""
+        self.state = "quarantined"
+        self.error = message
+        self.attached = False
+        if self.journal is not None:
+            self.journal.quarantine(message)
+
+    def checkpoint_state(self, complete: bool = False) -> dict:
+        return {
+            "schema": 1,
+            "node_id": self.node_id,
+            "journal_offset": self.bytes_received,
+            "decoder": self.decoder.snapshot(),
+            "accumulator": self.accumulator.snapshot(),
+            "complete": complete,
+        }
+
+    def final_reply(self) -> dict:
+        return {
+            "ok": True,
+            "node_id": self.node_id,
+            "entries": self.decoder.entries_decoded,
+            "windows": self.accumulator.windows_emitted,
+            "energy_map": emap_to_wire(self.final_map),
+        }
+
+    @classmethod
+    def restore(cls, state_dir, node_id: int, *,
+                retain: int) -> Optional["NodeSession"]:
+        """Rebuild a session from its journal: newest valid checkpoint,
+        then the journal tail replayed through the same decode→window
+        path — bit-identical to having never crashed.  Returns None for
+        an unrecoverable (headerless) journal."""
+        journal = NodeJournal(state_dir, node_id)
+        contents = journal.load()
+        if contents is None or contents.hello is None:
+            return None
+        session = cls(contents.hello, retain=retain, journal=journal)
+        quarantined = journal.quarantine_error()
+        if quarantined is not None:
+            session.state = "quarantined"
+            session.error = quarantined
+            return session
+        start = 0
+        state = journal.load_checkpoint()
+        if (state is not None and state.get("schema") == 1
+                and isinstance(state.get("journal_offset"), int)
+                and 0 <= state["journal_offset"] <= contents.payload_bytes):
+            try:
+                decoder = WireDecoder.from_snapshot(state["decoder"])
+                accumulator = WindowedAccumulator.restore(
+                    state["accumulator"])
+            except ReproError:
+                pass  # corrupt snapshot: full-journal replay covers it
+            else:
+                session.decoder = decoder
+                session.accumulator = accumulator
+                start = state["journal_offset"]
+        session.bytes_received = start
+        session.resumable = True
+        for chunk in contents.replay(start):
+            session.ingest(chunk)
+        session.checkpointed_bytes = session.bytes_received
+        session.last_ack_bytes = session.bytes_received
+        if contents.complete is not None:
+            session.finish()
+        else:
+            session.state = "suspended"
+            journal.reopen_for_append(contents)
+        return session
+
     def describe(self) -> dict:
         return {
             "node_id": self.node_id,
@@ -97,6 +213,9 @@ class NodeSession:
             "entries": self.decoder.entries_decoded,
             "pending_bytes": self.decoder.pending_bytes,
             "windows": self.accumulator.windows_emitted,
+            "attached": self.attached,
+            "resumable": self.resumable,
+            "journaled": self.journal is not None,
         }
 
     def breakdown(self) -> dict:
@@ -120,19 +239,95 @@ class NodeSession:
 class IngestServer:
     """The long-running service.  ``await start_tcp(...)`` and/or
     ``await start_unix(...)``, then :meth:`serve_forever` (or just keep
-    the loop alive); :meth:`close` tears the listeners down."""
+    the loop alive); :meth:`close` tears the listeners down.  With
+    ``state_dir`` every stream is journaled and checkpointed, and
+    construction restores whatever a previous process left behind."""
 
-    def __init__(self, *, retain: int = 64, queue_depth: int = 32) -> None:
+    def __init__(self, *, retain: int = 64, queue_depth: int = 32,
+                 state_dir=None, checkpoint_bytes: int = CHECKPOINT_BYTES,
+                 ack_bytes: int = ACK_BYTES,
+                 max_streams: Optional[int] = None) -> None:
         if queue_depth < 1:
             raise ServeError("queue depth must be at least 1")
+        if checkpoint_bytes < 1:
+            raise ServeError("checkpoint cadence must be at least 1 byte")
         self.retain = retain
         self.queue_depth = queue_depth
+        self.state_dir = state_dir
+        self.checkpoint_bytes = checkpoint_bytes
+        self.ack_bytes = max(1, ack_bytes)
+        self.max_streams = max_streams
         self.sessions: dict[int, NodeSession] = {}
         self.completed = 0
+        self.restored = 0
         self._servers: list[asyncio.base_events.Server] = []
         self._done_event = asyncio.Event()
         self._shutdown = asyncio.Event()
         self._handlers: set[asyncio.Task] = set()
+        if self.state_dir is not None:
+            self._restore_all()
+
+    # -- durability ---------------------------------------------------------
+
+    def _restore_all(self) -> None:
+        """Rebuild every journaled session from ``state_dir``.  A node
+        whose replay itself fails is quarantined — one bad journal never
+        stops the server from coming back."""
+        for node_id in NodeJournal.scan_dir(self.state_dir):
+            fire("serve-restore", node_id)
+            try:
+                session = NodeSession.restore(
+                    self.state_dir, node_id, retain=self.retain)
+            except Exception as exc:
+                journal = NodeJournal(self.state_dir, node_id)
+                contents = journal.load()
+                if contents is None or contents.hello is None:
+                    continue
+                session = NodeSession(contents.hello, retain=self.retain,
+                                      journal=journal)
+                session.set_quarantined(f"restore failed: {exc}")
+            if session is None:
+                continue
+            self.sessions[session.node_id] = session
+            self.restored += 1
+            if session.state in ("done", "quarantined"):
+                # Concluded either way; `--expect-nodes` counts it.
+                self.completed += 1
+
+    def _checkpoint(self, session: NodeSession,
+                    complete: bool = False) -> None:
+        if session.journal is None:
+            return
+        fire("serve-checkpoint", session.node_id)
+        session.journal.write_checkpoint(
+            session.checkpoint_state(complete))
+        session.checkpointed_bytes = session.bytes_received
+
+    def _suspend(self, session: NodeSession) -> None:
+        """Park a resumable stream whose connection went away: the
+        session keeps its live decoder/accumulator (and checkpoint, if
+        journaled) and waits for the client to reconnect."""
+        session.state = "suspended"
+        session.attached = False
+        try:
+            self._checkpoint(session)
+        except OSError:
+            pass  # the journal itself still covers the bytes
+
+    def _finalize(self, session: NodeSession) -> None:
+        """Completion durability: final checkpoint (finished
+        accumulator) + the journal's complete record."""
+        if session.journal is None:
+            return
+        try:
+            self._checkpoint(session, complete=True)
+            session.journal.mark_complete({
+                "entries": session.decoder.entries_decoded,
+                "windows": session.accumulator.windows_emitted,
+            })
+            session.journal.close()
+        except OSError:
+            pass  # reply still stands; a restart replays the journal
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -144,6 +339,14 @@ class IngestServer:
         return bound[0], bound[1]
 
     async def start_unix(self, path: str) -> str:
+        try:
+            # A SIGKILLed predecessor leaves its socket file behind;
+            # binding would fail on it.  One server per path is the
+            # deployment contract, so a stale socket is safe to clear.
+            if stat.S_ISSOCK(os.stat(path).st_mode):
+                os.unlink(path)
+        except (FileNotFoundError, OSError):
+            pass
         server = await asyncio.start_unix_server(
             self._handle, path, limit=LINE_LIMIT)
         self._servers.append(server)
@@ -180,13 +383,15 @@ class IngestServer:
         event on the loop).  Listeners stop accepting, streaming nodes'
         queues drain, decoders with no partial entry finish cleanly and
         get their final map; a node caught mid-frame is marked failed
-        rather than folded torn."""
+        rather than folded torn — unless it is resumable, in which case
+        it is checkpointed and told to reconnect."""
         self._shutdown.set()
 
     async def shutdown(self, grace_s: float = 5.0) -> None:
         """Stop accepting, then wait up to ``grace_s`` for the open
         connection handlers to drain and reply; stragglers past the
-        grace period are cancelled."""
+        grace period are cancelled.  Unconcluded journaled sessions get
+        a parting checkpoint so the restart resumes exactly here."""
         self._shutdown.set()
         for server in self._servers:
             server.close()
@@ -200,12 +405,21 @@ class IngestServer:
                 task.cancel()
             if late:
                 await asyncio.gather(*late, return_exceptions=True)
+        for session in self.sessions.values():
+            if session.state in ("streaming", "suspended"):
+                try:
+                    self._checkpoint(session)
+                except OSError:
+                    pass
 
     async def close(self) -> None:
         for server in self._servers:
             server.close()
             await server.wait_closed()
         self._servers.clear()
+        for session in self.sessions.values():
+            if session.journal is not None:
+                session.journal.close()
 
     def final_stats_lines(self) -> list[str]:
         """Per-node summary lines for the shutdown log."""
@@ -255,19 +469,84 @@ class IngestServer:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
+    async def _reject(self, writer: asyncio.StreamWriter,
+                      error: str, **extra) -> None:
+        reply = {"ok": False, "error": error}
+        reply.update(extra)
+        writer.write(encode_json_line(reply))
+        await writer.drain()
+
+    async def _route_ingest(self, hello: dict,
+                            writer: asyncio.StreamWriter):
+        """Map an ingest hello to its session: resume an existing one
+        (ack handshake), shed past the stream cap, or create fresh.
+        Returns ``(session, resumed)`` — ``(None, _)`` when a rejection
+        was already written."""
+        node_id = int(hello["node_id"])
+        want_ack = bool(hello.get("ack"))
+        existing = self.sessions.get(node_id)
+        if want_ack and existing is not None:
+            if existing.state == "quarantined":
+                await self._reject(
+                    writer,
+                    f"node {node_id} is quarantined: {existing.error}")
+                return None, False
+            if existing.attached:
+                await self._reject(
+                    writer, f"node {node_id} is already streaming")
+                return None, False
+            # done / suspended / streaming-detached / error: resume.
+            return existing, True
+        active = sum(1 for s in self.sessions.values() if s.attached)
+        if self.max_streams is not None and active >= self.max_streams:
+            # Shed, don't buffer: an explicit retryable NACK beats an
+            # unbounded backlog the accounting can never catch up on.
+            await self._reject(
+                writer,
+                f"server overloaded: {active} streams at the "
+                f"{self.max_streams}-stream cap",
+                retry=True, shed=True)
+            return None, False
+        session = NodeSession(hello, retain=self.retain)
+        if self.state_dir is not None:
+            journal = NodeJournal(self.state_dir, node_id)
+            journal.create(hello)
+            session.journal = journal
+        self.sessions[node_id] = session
+        return session, False
+
     async def _handle_ingest(self, payload: bytes,
                              reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         try:
-            session = NodeSession(decode_json_line(payload, "ingest hello"),
-                                  retain=self.retain)
-        except ReproError as exc:
-            writer.write(encode_json_line({"ok": False, "error": str(exc)}))
+            hello = check_hello(decode_json_line(payload, "ingest hello"))
+            session, resumed = await self._route_ingest(hello, writer)
+        except (ReproError, OSError) as exc:
+            await self._reject(writer, str(exc))
+            return
+        if session is None:
+            return
+        want_ack = bool(hello.get("ack"))
+        if want_ack:
+            session.resumable = True
+            writer.write(encode_json_line(
+                {"ok": True, "node_id": session.node_id,
+                 "offset": session.bytes_received, "resumed": resumed}))
+            await writer.drain()
+        if session.state == "done":
+            # A reconnect after completion: the handshake told the
+            # client to fast-forward to EOF; re-deliver the stored map.
+            while await reader.read(READ_CHUNK):
+                pass
+            writer.write(encode_json_line(session.final_reply()))
             await writer.drain()
             return
-        self.sessions[session.node_id] = session
+        session.attached = True
+        session.state = "streaming"
+        session.error = None
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_depth)
-        consumer = asyncio.ensure_future(self._consume(session, queue))
+        consumer = asyncio.ensure_future(
+            self._consume(session, queue, writer, want_ack))
         eof_clean = False
         stopped = False
         stop_task = asyncio.ensure_future(self._shutdown.wait())
@@ -275,17 +554,19 @@ class IngestServer:
             while True:
                 read_task = asyncio.ensure_future(reader.read(READ_CHUNK))
                 done, _ = await asyncio.wait(
-                    {read_task, stop_task},
+                    {read_task, stop_task, consumer},
                     return_when=asyncio.FIRST_COMPLETED)
                 if read_task not in done:
-                    # Graceful shutdown: stop reading; the queue drains
-                    # below and the decoder decides clean vs mid-frame.
                     read_task.cancel()
                     try:
                         await read_task
                     except (asyncio.CancelledError, ConnectionError,
                             asyncio.IncompleteReadError):
                         pass
+                    if consumer in done:
+                        break  # accounting died; surfaces at the await
+                    # Graceful shutdown: stop reading; the queue drains
+                    # below and the decoder decides clean vs mid-frame.
                     stopped = True
                     break
                 chunk = read_task.result()
@@ -293,53 +574,101 @@ class IngestServer:
                     eof_clean = True
                     break
                 # Bounded hand-off: accounting lag blocks this put, which
-                # stops the reads, which flow-controls the sender.
-                await queue.put(chunk)
+                # stops the reads, which flow-controls the sender.  A dead
+                # consumer must break the wait, not deadlock it.
+                put_task = asyncio.ensure_future(queue.put(chunk))
+                done, _ = await asyncio.wait(
+                    {put_task, consumer},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if put_task not in done:
+                    put_task.cancel()
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
-            pass  # eof_clean stays False -> the stream is marked failed
+            pass  # eof_clean stays False -> failed or suspended below
         finally:
             stop_task.cancel()
-            await queue.put(_EOF)
+            if not consumer.done():
+                await queue.put(_EOF)
         try:
             await consumer
-            if stopped and not eof_clean:
-                # Queue drained; a decoder holding a partial entry was
-                # cut mid-frame, everything else ends as a clean stream.
-                if session.decoder.pending_bytes:
-                    raise ServeError("server shutdown mid-frame")
-                eof_clean = True
-            if not eof_clean:
-                raise ServeError("connection lost mid-stream")
-            final = session.finish()
-            reply = {
-                "ok": True,
-                "node_id": session.node_id,
-                "entries": session.decoder.entries_decoded,
-                "windows": session.accumulator.windows_emitted,
-                "energy_map": emap_to_wire(final),
-            }
-            if stopped:
-                reply["shutdown"] = True
-        except ReproError as exc:
+        except _StreamFault as exc:
+            # Malformed stream content: this node is quarantined, the
+            # journal is preserved for postmortem, the server sails on.
+            session.set_quarantined(str(exc))
+            reply = {"ok": False, "node_id": session.node_id,
+                     "error": str(exc), "quarantined": True}
+        except (ReproError, OSError) as exc:
             session.fail(str(exc))
+            session.attached = False
             reply = {"ok": False, "node_id": session.node_id,
                      "error": str(exc)}
+        else:
+            if not eof_clean and session.resumable:
+                # The stream will be back: park it, don't fail it.
+                self._suspend(session)
+                if not stopped:
+                    return  # peer is gone; nothing to reply to
+                reply = {"ok": False, "node_id": session.node_id,
+                         "error": "server shutting down mid-stream",
+                         "retry": True}
+                writer.write(encode_json_line(reply))
+                await writer.drain()
+                return
+            try:
+                if stopped and not eof_clean:
+                    # Queue drained; a decoder holding a partial entry
+                    # was cut mid-frame, everything else ends cleanly.
+                    if session.decoder.pending_bytes:
+                        raise ServeError("server shutdown mid-frame")
+                    eof_clean = True
+                if not eof_clean:
+                    raise ServeError("connection lost mid-stream")
+                session.finish()
+                self._finalize(session)
+                session.attached = False
+                reply = session.final_reply()
+                if stopped:
+                    reply["shutdown"] = True
+            except ReproError as exc:
+                session.fail(str(exc))
+                session.attached = False
+                reply = {"ok": False, "node_id": session.node_id,
+                         "error": str(exc)}
         self.completed += 1
         self._done_event.set()
         writer.write(encode_json_line(reply))
         await writer.drain()
 
-    async def _consume(self, session: NodeSession,
-                       queue: asyncio.Queue) -> None:
-        """Drain one session's chunk queue into its accumulator.  Runs
-        as a task so decoding keeps pace with (and backpressures) the
-        socket reads; yields to the loop between chunks to keep query
-        connections responsive under a fast-flowing stream."""
+    async def _consume(self, session: NodeSession, queue: asyncio.Queue,
+                       writer: asyncio.StreamWriter,
+                       want_acks: bool) -> None:
+        """Drain one session's chunk queue: journal first (write-ahead),
+        then decode into the accumulator, checkpointing and acking on
+        their byte cadences.  Runs as a task so decoding keeps pace with
+        (and backpressures) the socket reads; yields to the loop between
+        chunks to keep query connections responsive."""
         while True:
             chunk = await queue.get()
             if chunk is _EOF:
                 return
-            session.ingest(chunk)
+            if session.journal is not None:
+                fire("serve-journal", session.node_id)
+                session.journal.append_chunk(chunk)
+            try:
+                session.ingest(chunk)
+            except Exception as exc:
+                raise _StreamFault(
+                    f"node {session.node_id} stream is malformed: {exc}"
+                ) from exc
+            if session.journal is not None and (
+                    session.bytes_received - session.checkpointed_bytes
+                    >= self.checkpoint_bytes):
+                self._checkpoint(session)
+            if want_acks and (session.bytes_received
+                              - session.last_ack_bytes >= self.ack_bytes):
+                session.last_ack_bytes = session.bytes_received
+                writer.write(encode_json_line(
+                    {"ack": session.bytes_received}))
 
     # -- queries -------------------------------------------------------------
 
@@ -394,6 +723,7 @@ class IngestServer:
                 "streaming": sum(1 for s in self.sessions.values()
                                  if s.state == "streaming"),
                 "completed": self.completed,
+                "restored": self.restored,
                 "entries": sum(s.decoder.entries_decoded
                                for s in self.sessions.values()),
                 "bytes": sum(s.bytes_received

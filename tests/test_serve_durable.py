@@ -1,0 +1,579 @@
+"""Durable live ingest: WAL, checkpoints, crash-restore, resume.
+
+The contract under test: with a ``state_dir``, every ingest stream is
+write-ahead journaled and checkpointed, so a server that dies without
+warning restarts into the exact per-node state it held — and a client
+speaking the resume handshake replays only the tail, ending with a map
+**byte-identical** to the uninterrupted offline ``build_energy_map``.
+Also covered: torn/corrupt journal tails, corrupt-checkpoint fallback
+to full replay, graceful-shutdown suspend, quarantine isolation of one
+malformed stream, overload shedding, the typed sync-wrapper errors, and
+the ``--expect-nodes`` exit code.
+"""
+
+import asyncio
+import json
+import os
+import pickle
+import socket
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.accounting import WindowedAccumulator, build_energy_map
+from repro.core.logger import WireDecoder
+from repro.errors import ServeError
+from repro.experiments.common import run_blink
+from repro.serve import (
+    IngestServer,
+    NodeJournal,
+    NodeSession,
+    final_map,
+    hello_for_node,
+    query_sync,
+    stream_node_sync,
+    stream_raw,
+)
+from repro.serve.journal import JOURNAL_MAGIC
+from repro.serve.protocol import (
+    INGEST_VERB,
+    decode_json_line,
+    encode_json_line,
+    is_ack_line,
+)
+from repro.sim.faultinject import tear_tail
+from repro.tos.node import COMPONENT_NAMES
+from repro.units import seconds
+
+
+def offline_map(node):
+    timeline = node.timeline()
+    regression = node.regression(timeline)
+    return build_energy_map(
+        timeline, regression, node.registry, COMPONENT_NAMES,
+        node.platform.icount.nominal_energy_per_pulse_j,
+        fold_proxies=False,
+        idle_name=node.registry.name_of(node.idle),
+        backend="streaming",
+    )
+
+
+def assert_maps_identical(served, offline):
+    assert list(served.energy_j) == list(offline.energy_j)
+    assert served.energy_j == offline.energy_j
+    assert list(served.time_ns) == list(offline.time_ns)
+    assert served.time_ns == offline.time_ns
+    assert served.metered_energy_j == offline.metered_energy_j
+    assert served.reconstructed_energy_j == offline.reconstructed_energy_j
+    assert served.span_ns == offline.span_ns
+
+
+@pytest.fixture(scope="module")
+def blink():
+    node, _app, _sim = run_blink(seed=3, duration_ns=seconds(8))
+    return node
+
+
+@pytest.fixture(scope="module")
+def blink2():
+    node, _app, _sim = run_blink(seed=7, duration_ns=seconds(8), node_id=2)
+    return node
+
+
+@pytest.fixture(scope="module")
+def offline(blink):
+    return offline_map(blink)
+
+
+@pytest.fixture()
+def sock(tmp_path):
+    return str(tmp_path / "ingest.sock")
+
+
+async def _ack_hello_prefix(sock_path, hello, prefix):
+    """Open a raw resume-handshake ingest connection and write a prefix
+    without EOF (a stream caught mid-flight)."""
+    reader, writer = await asyncio.open_unix_connection(sock_path)
+    wire = dict(hello)
+    wire["ack"] = True
+    writer.write(INGEST_VERB.encode() + b" " + encode_json_line(wire))
+    await writer.drain()
+    handshake = decode_json_line(await reader.readline(), "handshake")
+    writer.write(prefix)
+    await writer.drain()
+    return reader, writer, handshake
+
+
+async def _final_reply(reader):
+    """The first non-ack reply line."""
+    while True:
+        line = await reader.readline()
+        assert line, "connection closed without a reply"
+        reply = decode_json_line(line, "reply")
+        if not is_ack_line(reply):
+            return reply
+
+
+# -- journal mechanics -------------------------------------------------------
+
+
+def test_journal_round_trip(tmp_path):
+    journal = NodeJournal(tmp_path, 7)
+    journal.create({"node_id": 7, "greeting": True})
+    assert journal.append_chunk(b"abcd") == 4
+    assert journal.append_chunk(b"") == 4  # empty chunks are legal
+    assert journal.append_chunk(b"efghij") == 10
+    journal.mark_complete({"entries": 3})
+    journal.close()
+
+    contents = journal.load()
+    assert contents.hello == {"node_id": 7, "greeting": True}
+    assert contents.chunks == [b"abcd", b"", b"efghij"]
+    assert contents.payload_bytes == 10
+    assert contents.complete == {"entries": 3}
+    assert contents.valid_end == journal.journal_path.stat().st_size
+
+
+def test_torn_tail_is_truncated_on_reopen(tmp_path):
+    journal = NodeJournal(tmp_path, 1)
+    journal.create({"node_id": 1})
+    journal.append_chunk(b"first")
+    journal.append_chunk(b"second")
+    journal.close()
+    tear_tail(journal.journal_path, drop=3)  # crash mid-append
+
+    contents = journal.load()
+    assert contents.chunks == [b"first"]
+    assert contents.complete is None
+    # Reopen truncates the torn bytes: the next record lands cleanly.
+    journal.reopen_for_append(contents)
+    assert journal.append_chunk(b"again") == 10
+    journal.close()
+    assert journal.load().chunks == [b"first", b"again"]
+
+
+def test_corrupt_record_stops_the_scan(tmp_path):
+    journal = NodeJournal(tmp_path, 1)
+    journal.create({"node_id": 1})
+    journal.append_chunk(b"good")
+    at_bad = journal.journal_path.stat().st_size
+    journal.append_chunk(b"bad!")
+    journal.append_chunk(b"never seen")
+    journal.close()
+    blob = bytearray(journal.journal_path.read_bytes())
+    blob[at_bad + 9] ^= 0xFF  # flip a payload byte: CRC now fails
+    journal.journal_path.write_bytes(bytes(blob))
+    contents = journal.load()
+    assert contents.chunks == [b"good"]
+    assert contents.valid_end == at_bad
+
+
+def test_headerless_journal_is_unrecoverable(tmp_path):
+    path = tmp_path / "node-5.waj"
+    path.write_bytes(b"not a journal at all")
+    assert NodeJournal(tmp_path, 5).load() is None
+    assert NodeSession.restore(tmp_path, 5, retain=8) is None
+
+
+def test_replay_slices_mid_record(tmp_path):
+    journal = NodeJournal(tmp_path, 1)
+    journal.create({"node_id": 1})
+    journal.append_chunk(b"abcd")
+    journal.append_chunk(b"efgh")
+    journal.close()
+    contents = journal.load()
+    assert list(contents.replay(0)) == [b"abcd", b"efgh"]
+    assert list(contents.replay(2)) == [b"cd", b"efgh"]
+    assert list(contents.replay(4)) == [b"efgh"]
+    assert list(contents.replay(6)) == [b"gh"]
+    assert list(contents.replay(8)) == []
+    for bad in (-1, 9):
+        with pytest.raises(ServeError, match="replay offset"):
+            list(contents.replay(bad))
+
+
+def test_scan_dir_finds_node_journals(tmp_path):
+    for node_id in (3, 1):
+        journal = NodeJournal(tmp_path, node_id)
+        journal.create({"node_id": node_id})
+        journal.close()
+    (tmp_path / "stray.txt").write_text("ignore me")
+    (tmp_path / "node-x.waj").write_text("not a node id")
+    assert NodeJournal.scan_dir(tmp_path) == [1, 3]
+    assert NodeJournal.scan_dir(tmp_path / "missing") == []
+
+
+def test_checkpoint_round_trip_and_corruption(tmp_path):
+    journal = NodeJournal(tmp_path, 1)
+    state = {"schema": 1, "journal_offset": 42, "blob": b"\x00\x01"}
+    assert journal.load_checkpoint() is None  # absent
+    journal.write_checkpoint(state)
+    assert journal.load_checkpoint() == state
+    blob = bytearray(journal.checkpoint_path.read_bytes())
+    blob[-1] ^= 0xFF
+    journal.checkpoint_path.write_bytes(bytes(blob))
+    assert journal.load_checkpoint() is None  # CRC fail -> discard
+    journal.checkpoint_path.write_bytes(b"garbage")
+    assert journal.load_checkpoint() is None
+
+
+# -- mid-stream snapshots ----------------------------------------------------
+
+
+def test_mid_stream_checkpoint_restores_bit_identical(blink, offline):
+    """The checkpoint payload (decoder snapshot + pickled accumulator),
+    round-tripped through bytes at arbitrary cut points, resumes to the
+    exact offline map — float bits and key order."""
+    hello = hello_for_node(blink, stride_ns=int(seconds(1)))
+    raw = bytes(blink.logger.raw_bytes())
+    for cut in (0, 5, 600, len(raw) // 2 + 7, len(raw) - 1):
+        session = NodeSession(hello, retain=64)
+        session.ingest(raw[:cut])
+        state = pickle.loads(pickle.dumps(session.checkpoint_state()))
+        resumed = NodeSession(hello, retain=64)
+        resumed.decoder = WireDecoder.from_snapshot(state["decoder"])
+        resumed.accumulator = WindowedAccumulator.restore(
+            state["accumulator"])
+        resumed.bytes_received = state["journal_offset"]
+        resumed.ingest(raw[cut:])
+        assert_maps_identical(resumed.finish(), offline)
+        assert resumed.bytes_received == len(raw)
+
+
+def test_restore_from_journal_without_checkpoint(tmp_path, blink, offline):
+    """No checkpoint at all: restore replays the whole journal."""
+    hello = hello_for_node(blink, stride_ns=int(seconds(1)))
+    raw = bytes(blink.logger.raw_bytes())
+    cut = 629  # mid-entry
+    journal = NodeJournal(tmp_path, 1)
+    journal.create(hello)
+    for at in range(0, cut, 113):
+        journal.append_chunk(raw[at:min(at + 113, cut)])
+    journal.close()
+    session = NodeSession.restore(tmp_path, 1, retain=64)
+    assert session.state == "suspended"
+    assert session.bytes_received == cut
+    assert session.decoder.pending_bytes == cut % 12
+    session.ingest(raw[cut:])
+    assert_maps_identical(session.finish(), offline)
+    session.journal.close()
+
+
+# -- crash, restart, resume --------------------------------------------------
+
+
+def test_crash_restore_resumes_bit_identical(tmp_path, blink, offline):
+    """The tentpole, in-process: a server that dies mid-stream (handler
+    tasks stop existing, no shutdown path runs) restarts from its state
+    dir into the journaled offset; a corrupt checkpoint degrades to
+    full-journal replay; the resumed stream's map is byte-identical."""
+    state_dir = str(tmp_path / "state")
+    sock_path = str(tmp_path / "ingest.sock")
+    hello = hello_for_node(blink, stride_ns=int(seconds(1)))
+    raw = bytes(blink.logger.raw_bytes())
+    cut = 629  # mid-entry, past two 256-byte checkpoint cadences
+
+    async def scenario():
+        server_a = IngestServer(state_dir=state_dir, checkpoint_bytes=256)
+        await server_a.start_unix(sock_path)
+        reader, writer, handshake = await _ack_hello_prefix(
+            sock_path, hello, b"")
+        assert handshake == {"ok": True, "node_id": 1, "offset": 0,
+                             "resumed": False}
+        for at in range(0, cut, 97):  # paced: chunks journal separately
+            writer.write(raw[at:min(at + 97, cut)])
+            await writer.drain()
+            await asyncio.sleep(0.01)
+        await asyncio.sleep(0.2)  # let the consumer drain everything
+
+        # "SIGKILL": cancel the handlers outright and drop the
+        # listeners — no suspend, no parting checkpoint, no reply.
+        for task in list(server_a._handlers):
+            task.cancel()
+        await asyncio.gather(*server_a._handlers, return_exceptions=True)
+        for listener in server_a._servers:
+            listener.close()
+            await listener.wait_closed()
+        writer.close()
+
+        # The on-disk truth: a cadence checkpoint strictly mid-prefix,
+        # so the restore exercises checkpoint + journal-tail replay.
+        ckpt = NodeJournal(state_dir, 1).load_checkpoint()
+        assert 0 < ckpt["journal_offset"] < cut
+
+        server_b = IngestServer(state_dir=state_dir, checkpoint_bytes=256)
+        assert server_b.restored == 1
+        session = server_b.sessions[1]
+        assert session.state == "suspended"
+        assert session.bytes_received == cut
+        await server_b.close()
+
+        # Corrupt the checkpoint: restore falls back to full replay and
+        # lands on the identical state.
+        ckpt_path = Path(state_dir) / "node-1.ckpt"
+        ckpt_path.write_bytes(b"QCKP" + os.urandom(40))
+        server_c = IngestServer(state_dir=state_dir, checkpoint_bytes=256)
+        assert server_c.sessions[1].state == "suspended"
+        assert server_c.sessions[1].bytes_received == cut
+        await server_c.start_unix(sock_path)
+        try:
+            reply = await stream_raw(sock_path, hello, raw,
+                                     chunk_size=113, retries=0)
+        finally:
+            await server_c.close()
+        return reply
+
+    reply = asyncio.run(scenario())
+    assert reply["ok"]
+    assert reply["client"]["resumed_from"] == cut
+    assert reply["client"]["reconnects"] == 0
+    assert_maps_identical(final_map(reply), offline)
+
+
+def test_restored_completed_stream_redelivers(tmp_path, blink, offline):
+    """A stream that finished before the crash restores as done, counts
+    as concluded, and a reconnecting client gets the stored final map
+    without re-streaming a byte."""
+    state_dir = str(tmp_path / "state")
+    sock_path = str(tmp_path / "ingest.sock")
+    hello = hello_for_node(blink, stride_ns=int(seconds(1)))
+    raw = bytes(blink.logger.raw_bytes())
+
+    async def scenario():
+        server_a = IngestServer(state_dir=state_dir)
+        await server_a.start_unix(sock_path)
+        first = await stream_raw(sock_path, hello, raw, retries=0)
+        await server_a.close()
+
+        server_b = IngestServer(state_dir=state_dir)
+        assert server_b.restored == 1 and server_b.completed == 1
+        assert server_b.sessions[1].state == "done"
+        assert server_b._answer({"cmd": "stats"})["restored"] == 1
+        await server_b.start_unix(sock_path)
+        try:
+            again = await stream_raw(sock_path, hello, raw, retries=0)
+        finally:
+            await server_b.close()
+        return first, again
+
+    first, again = asyncio.run(scenario())
+    assert first["ok"] and again["ok"]
+    assert again["client"]["resumed_from"] == len(raw)  # nothing re-sent
+    assert again["entries"] == first["entries"]
+    assert_maps_identical(final_map(again), offline)
+    assert_maps_identical(final_map(first), offline)
+
+
+def test_graceful_shutdown_suspends_resumable_stream(tmp_path, blink,
+                                                     offline):
+    """A resume-capable client caught mid-frame by a graceful shutdown
+    is parked (suspended + checkpointed) and told to retry — not failed
+    like the legacy protocol — and the restarted server finishes it."""
+    state_dir = str(tmp_path / "state")
+    sock_path = str(tmp_path / "ingest.sock")
+    hello = hello_for_node(blink, stride_ns=int(seconds(1)))
+    raw = bytes(blink.logger.raw_bytes())
+    prefix = 1207  # 100 entries + 7 torn bytes: mid-frame on purpose
+
+    async def scenario():
+        server = IngestServer(state_dir=state_dir)
+        await server.start_unix(sock_path)
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        reader, writer, _ = await _ack_hello_prefix(
+            sock_path, hello, raw[:prefix])
+        await asyncio.sleep(0.1)  # let the prefix land
+        server.request_shutdown()
+        await serve_task
+        parting = await _final_reply(reader)
+        writer.close()
+        session = server.sessions[1]
+        assert session.state == "suspended"
+        assert parting == {"ok": False, "node_id": 1, "retry": True,
+                           "error": "server shutting down mid-stream"}
+        await server.close()
+
+        server_b = IngestServer(state_dir=state_dir)
+        assert server_b.sessions[1].bytes_received == prefix
+        await server_b.start_unix(sock_path)
+        try:
+            reply = await stream_raw(sock_path, hello, raw, retries=0)
+        finally:
+            await server_b.close()
+        return reply
+
+    reply = asyncio.run(scenario())
+    assert reply["ok"] and reply["client"]["resumed_from"] == prefix
+    assert_maps_identical(final_map(reply), offline)
+
+
+# -- degradation: quarantine and shedding ------------------------------------
+
+
+def test_quarantine_isolates_one_malformed_stream(tmp_path, blink, blink2,
+                                                  offline, monkeypatch):
+    """A stream whose content breaks accounting quarantines that node —
+    journal preserved, marker written, reconnects refused — while other
+    nodes stream to byte-identical maps and a restart carries the
+    quarantine forward."""
+    state_dir = str(tmp_path / "state")
+    sock_path = str(tmp_path / "ingest.sock")
+    hello1 = hello_for_node(blink, stride_ns=int(seconds(1)))
+    hello2 = hello_for_node(blink2, stride_ns=int(seconds(1)))
+    raw1 = bytes(blink.logger.raw_bytes())
+    raw2 = bytes(blink2.logger.raw_bytes())
+
+    real_ingest = NodeSession.ingest
+
+    def poisoned(self, chunk):
+        if self.node_id == 2:
+            raise ValueError("synthetic decode corruption")
+        real_ingest(self, chunk)
+
+    monkeypatch.setattr(NodeSession, "ingest", poisoned)
+
+    async def scenario():
+        server = IngestServer(state_dir=state_dir)
+        await server.start_unix(sock_path)
+        try:
+            good = await stream_raw(sock_path, hello1, raw1, retries=0)
+            with pytest.raises(ServeError, match="malformed") as info:
+                await stream_raw(sock_path, hello2, raw2,
+                                 chunk_size=257, retries=3)
+            assert not getattr(info.value, "retryable", False)
+            # A reconnect is refused outright, journal left for
+            # postmortem.
+            with pytest.raises(ServeError, match="quarantined"):
+                await stream_raw(sock_path, hello2, raw2, retries=0)
+        finally:
+            await server.close()
+        return good, server
+
+    good, server = asyncio.run(scenario())
+    assert good["ok"]
+    assert_maps_identical(final_map(good), offline)
+    assert server.sessions[2].state == "quarantined"
+
+    marker = Path(state_dir) / "node-2.quarantine"
+    assert "malformed" in json.loads(marker.read_text())["error"]
+    journal_blob = (Path(state_dir) / "node-2.waj").read_bytes()
+    assert journal_blob.startswith(JOURNAL_MAGIC)
+    assert len(journal_blob) > len(JOURNAL_MAGIC)  # streamed prefix kept
+
+    # Restart: node 1 is done, node 2 still quarantined, both concluded.
+    server_b = IngestServer(state_dir=state_dir)
+    assert server_b.restored == 2 and server_b.completed == 2
+    assert server_b.sessions[1].state == "done"
+    assert server_b.sessions[2].state == "quarantined"
+
+
+def test_overload_sheds_with_retryable_nack(tmp_path, blink, blink2,
+                                            offline):
+    """Past ``max_streams`` the server NACKs new nodes with an explicit
+    retryable shed — and a backing-off client gets in once a slot
+    frees."""
+    sock_path = str(tmp_path / "ingest.sock")
+    hello1 = hello_for_node(blink, stride_ns=int(seconds(1)))
+    hello2 = hello_for_node(blink2, stride_ns=int(seconds(1)))
+    raw1 = bytes(blink.logger.raw_bytes())
+    raw2 = bytes(blink2.logger.raw_bytes())
+
+    async def scenario():
+        server = IngestServer(max_streams=1)
+        await server.start_unix(sock_path)
+        try:
+            reader1, writer1, _ = await _ack_hello_prefix(
+                sock_path, hello1, raw1[:480])
+            await asyncio.sleep(0.05)  # node 1 is attached now
+            with pytest.raises(ServeError, match="overloaded") as info:
+                await stream_raw(sock_path, hello2, raw2, retries=0)
+            assert info.value.retryable
+            # With a retry budget the shed is survivable: finish node 1
+            # while node 2 backs off.
+            task2 = asyncio.ensure_future(
+                stream_raw(sock_path, hello2, raw2, retries=8))
+            await asyncio.sleep(0.02)
+            writer1.write(raw1[480:])
+            writer1.write_eof()
+            reply1 = await _final_reply(reader1)
+            writer1.close()
+            reply2 = await task2
+        finally:
+            await server.close()
+        return reply1, reply2
+
+    reply1, reply2 = asyncio.run(scenario())
+    assert reply1["ok"] and reply2["ok"]
+    assert reply2["client"]["reconnects"] >= 1
+    assert_maps_identical(final_map(reply1), offline)
+
+
+# -- typed sync-wrapper errors -----------------------------------------------
+
+
+def test_sync_wrappers_surface_typed_errors(tmp_path, blink):
+    nowhere = str(tmp_path / "nowhere.sock")
+    with pytest.raises(ServeError, match="node 1"):
+        stream_node_sync(nowhere, blink, stride_ns=int(seconds(1)),
+                         retries=0)
+    with pytest.raises(ServeError, match="connection failed"):
+        query_sync(nowhere, {"cmd": "stats"})
+
+
+def test_connection_reset_becomes_serve_error_naming_the_node(tmp_path,
+                                                              blink):
+    """A server that drops the socket mid-protocol surfaces as a typed
+    ServeError carrying the node id — never a bare OSError."""
+    path = str(tmp_path / "rude.sock")
+    listener = socket.socket(socket.AF_UNIX)
+    listener.bind(path)
+    listener.listen(1)
+
+    def slam_the_door():
+        conn, _ = listener.accept()
+        conn.recv(64)
+        conn.close()
+        listener.close()
+
+    thread = threading.Thread(target=slam_the_door, daemon=True)
+    thread.start()
+    try:
+        with pytest.raises(ServeError, match="node 1"):
+            stream_node_sync(path, blink, stride_ns=int(seconds(1)),
+                             retries=0)
+    finally:
+        thread.join(timeout=5)
+
+
+# -- the CLI exit-code contract ----------------------------------------------
+
+
+def test_expect_nodes_exits_nonzero_on_a_failed_node(tmp_path, blink):
+    """`repro serve --expect-nodes N` must fail loudly when a node
+    concluded in a failed state, not just when one never arrived."""
+    import subprocess
+    import sys
+
+    sock_path = str(tmp_path / "ingest.sock")
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--listen", f"unix:{sock_path}", "--expect-nodes", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        assert "listening on" in proc.stdout.readline()
+        hello = hello_for_node(blink, stride_ns=int(seconds(1)))
+        raw = bytes(blink.logger.raw_bytes())[:-5]  # torn log
+        with pytest.raises(ServeError, match="partial entry"):
+            asyncio.run(stream_raw(sock_path, hello, raw, resume=False))
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 1
+    assert "node 1 ended error" in out

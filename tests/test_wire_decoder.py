@@ -165,6 +165,90 @@ def test_wrap_fuzz_random_splits():
         assert entries == list(iter_entries(raw))
 
 
+# -- snapshot / restore ------------------------------------------------------
+
+
+def snapshot_round_trip_at(raw, cut):
+    """Feed ``raw[:cut]``, snapshot, restore into a NEW decoder, feed
+    the rest — the crash/restart shape of the ingest server."""
+    first = WireDecoder()
+    entries = first.feed(raw[:cut])
+    state = first.snapshot()
+    # The snapshot must survive serialization (checkpoints store it).
+    import json
+
+    second = WireDecoder.from_snapshot(json.loads(json.dumps(state)))
+    assert second.entries_decoded == first.entries_decoded
+    assert second.pending_bytes == first.pending_bytes
+    entries += second.feed(raw[cut:])
+    second.finish()
+    return entries
+
+
+def test_snapshot_restore_at_every_split_across_wraps():
+    """The satellite contract: a restore point at EVERY byte offset of
+    a log whose time and icount both wrap u32 (including cuts inside
+    the wrapping entry itself) resumes to the identical entry stream."""
+    truth = [
+        (U32 - 1000, 10),
+        (U32 - 1, 20),
+        (U32 + 500, U32 + 5),    # both fields wrap here
+        (U32 + 900, U32 + 50),
+        (2 * U32 + 3, 2 * U32),  # and wrap again
+        (2 * U32 + 7, 3 * U32 - 1),
+        (3 * U32, 3 * U32 + 2),  # time wraps alone
+    ]
+    raw = pack_truth(truth)
+    reference = list(iter_entries(raw))
+    for cut in range(len(raw) + 1):
+        entries = snapshot_round_trip_at(raw, cut)
+        assert entries == reference, f"diverged restoring at byte {cut}"
+        assert [(e.time_us, e.icount) for e in entries] == truth
+
+
+def test_snapshot_restore_fuzz_on_random_wrap_logs():
+    """Random wrap-heavy logs, random restore points, random chunking
+    after the restore — mirroring the chunk fuzz above."""
+    rng = random.Random(0xD15C)
+    for _trial in range(10):
+        truth, time_us, icount = [], 0, 0
+        for _ in range(40):
+            time_us += rng.randint(0, U32 // 2)
+            icount += rng.randint(0, U32 // 2)
+            truth.append((time_us, icount))
+        raw = pack_truth(truth)
+        reference = list(iter_entries(raw))
+        for _restore in range(8):
+            cut = rng.randint(0, len(raw))
+            first = WireDecoder()
+            entries = []
+            for chunk in random_chunks(raw[:cut], rng, 17):
+                entries.extend(first.feed(chunk))
+            second = WireDecoder.from_snapshot(first.snapshot())
+            for chunk in random_chunks(raw[cut:], rng, 17):
+                entries.extend(second.feed(chunk))
+            second.finish()
+            assert entries == reference
+
+
+def test_snapshot_restore_on_blink(blink_raw):
+    reference = list(iter_entries(blink_raw))
+    for cut in (0, 5, ENTRY_SIZE, len(blink_raw) // 2 + 7,
+                len(blink_raw) - 1, len(blink_raw)):
+        assert snapshot_round_trip_at(blink_raw, cut) == reference
+
+
+def test_bad_snapshots_are_rejected():
+    with pytest.raises(LoggerError, match="snapshot"):
+        WireDecoder.from_snapshot({"partial": "00"})  # missing fields
+    whole_entry = WireDecoder()
+    whole_entry.feed(pack_truth([(1, 1)]))
+    state = whole_entry.snapshot()
+    state["partial"] = "00" * ENTRY_SIZE  # a full entry can't be pending
+    with pytest.raises(LoggerError, match="snapshot"):
+        WireDecoder.from_snapshot(state)
+
+
 # -- state/diagnostics -------------------------------------------------------
 
 
